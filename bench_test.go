@@ -1,0 +1,209 @@
+// Package repro's root benchmarks regenerate every experiment of the
+// paper reproduction (one benchmark per table/figure claim — see
+// DESIGN.md §3 and EXPERIMENTS.md), reporting the headline quantities
+// as custom benchmark metrics. `go test -bench=. -benchmem` therefore
+// reproduces the whole evaluation.
+package main_test
+
+import (
+	"testing"
+
+	"ntisim/internal/cluster"
+	"ntisim/internal/experiments"
+	"ntisim/internal/metrics"
+)
+
+const benchSeed = 1998
+
+// reportClaims fails the benchmark if an experiment's claims broke.
+func reportClaims(b *testing.B, r experiments.Result) {
+	b.Helper()
+	for name, ok := range r.Claims {
+		if !ok {
+			b.Errorf("%s: claim failed: %s", r.ID, name)
+		}
+	}
+}
+
+func BenchmarkE1EpsilonTwoNode(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E1Epsilon(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["eps_load0"]*1e9, "eps-ns")
+	b.ReportMetric(r.Numbers["eps_load60"]*1e9, "eps-loaded-ns")
+}
+
+func BenchmarkE2TimestampClasses(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E2TimestampClasses(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["prec:task (software-only)"]*1e6, "task-us")
+	b.ReportMetric(r.Numbers["prec:ISR (kernel-level)"]*1e6, "isr-us")
+	b.ReportMetric(r.Numbers["prec:NTI (hardware)"]*1e6, "nti-us")
+}
+
+func BenchmarkE3GranularitySweep(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E3GranularitySweep(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["prec_1MHz"]*1e6, "prec1MHz-us")
+	b.ReportMetric(r.Numbers["prec_20MHz"]*1e6, "prec20MHz-us")
+}
+
+func BenchmarkE4SixteenNode(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E4SixteenNode(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["precision_max"]*1e6, "prec-us")
+	b.ReportMetric(r.Numbers["accuracy_max"]*1e6, "acc-us")
+}
+
+func BenchmarkE5GPSValidation(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E5GPSValidation(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["validated_acc:wrong-second"]*1e6, "validated-us")
+	b.ReportMetric(r.Numbers["naive_acc"]*1e6, "naive-us")
+}
+
+func BenchmarkE6RateSync(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E6RateSync(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["det_on"]*1e6, "det-on-us-per-s")
+	b.ReportMetric(r.Numbers["det_off"]*1e6, "det-off-us-per-s")
+}
+
+func BenchmarkE7WANvsLAN(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E7WANvsLAN(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["ntp_sym"]*1e3, "ntp-ms")
+	b.ReportMetric(r.Numbers["nti_lan"]*1e6, "nti-us")
+}
+
+func BenchmarkE8AdderVsCounter(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E8AdderVsCounter(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["prec_adder"]*1e6, "adder-us")
+	b.ReportMetric(r.Numbers["prec_counter"]*1e6, "counter-us")
+}
+
+func BenchmarkE9TimestampPath(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E9TimestampPath(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["gap"]*1e6, "gap-us")
+}
+
+func BenchmarkE10BackToBack(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E10BackToBack(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["latch_misattributed"], "latch-bad")
+	b.ReportMetric(r.Numbers["guess_misattributed"], "guess-bad")
+}
+
+func BenchmarkE11WANOfLANs(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E11WANOfLANs(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["global"]*1e6, "global-us")
+	b.ReportMetric(r.Numbers["seg0"]*1e6, "segment-us")
+}
+
+func BenchmarkE12ByzantineNode(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E12ByzantineNode(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["prec_tolerant"]*1e6, "tolerant-us")
+	b.ReportMetric(r.Numbers["prec_trusting"]*1e6, "trusting-us")
+}
+
+func BenchmarkE13HardwareMeasured(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E13HardwareMeasuredPrecision(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["hw_max"]*1e6, "hw-us")
+	b.ReportMetric(r.Numbers["truth_max"]*1e6, "truth-us")
+}
+
+// BenchmarkClusterScaling measures simulator throughput: simulated
+// seconds of a synchronized n-node system per wall-clock second.
+func BenchmarkClusterScaling(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		n := n
+		b.Run(benchName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := cluster.New(cluster.Defaults(n, benchSeed))
+				c.Start(1)
+				c.Sim.RunUntil(30)
+			}
+			b.ReportMetric(30*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+		})
+	}
+}
+
+func benchName(n int) string {
+	return "nodes-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// BenchmarkSnapshot measures the measurement path itself.
+func BenchmarkSnapshot(b *testing.B) {
+	c := cluster.New(cluster.Defaults(16, benchSeed))
+	c.Start(1)
+	c.Sim.RunUntil(20)
+	b.ResetTimer()
+	var cs metrics.ClusterSample
+	for i := 0; i < b.N; i++ {
+		cs = c.Snapshot()
+	}
+	_ = cs
+}
+
+func BenchmarkE14ConvergenceShootout(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E14ConvergenceShootout(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["prec:OA (midpoint)"]*1e6, "oa-mid-us")
+	b.ReportMetric(r.Numbers["prec:OA (average)"]*1e6, "oa-avg-us")
+}
+
+func BenchmarkE15ReceiverCensus(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E15ReceiverCensus(benchSeed)
+	}
+	reportClaims(b, r)
+	b.ReportMetric(r.Numbers["missing:rx2 outages"], "outage-missing")
+	b.ReportMetric(r.Numbers["badlabel:rx4 wrong-second"], "bad-labels")
+}

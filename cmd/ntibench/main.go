@@ -1,0 +1,97 @@
+// Command ntibench regenerates every experiment table of the paper
+// reproduction (see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded outputs).
+//
+// Usage:
+//
+//	ntibench [-seed N] [E1 E4 ...]   run selected experiments (default all)
+//	ntibench -list                   list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ntisim/internal/experiments"
+)
+
+var runners = []struct {
+	id  string
+	fn  func(uint64) experiments.Result
+	des string
+}{
+	{"E1", experiments.E1Epsilon, "two-node transmission/reception uncertainty ε"},
+	{"E2", experiments.E2TimestampClasses, "timestamping classes: task vs ISR vs NTI"},
+	{"E3", experiments.E3GranularitySweep, "precision impairment 4G+10u vs fosc"},
+	{"E4", experiments.E4SixteenNode, "16-node prototype precision/accuracy"},
+	{"E5", experiments.E5GPSValidation, "clock validation vs naive GPS trust"},
+	{"E6", experiments.E6RateSync, "rate synchronization ablation"},
+	{"E7", experiments.E7WANvsLAN, "NTP over WAN vs NTI on LAN"},
+	{"E8", experiments.E8AdderVsCounter, "adder-based vs counter-based clock"},
+	{"E9", experiments.E9TimestampPath, "packet timestamping data path"},
+	{"E10", experiments.E10BackToBack, "Receive Header Base latch vs guessing"},
+	{"E11", experiments.E11WANOfLANs, "WANs-of-LANs gateway topology"},
+	{"E12", experiments.E12ByzantineNode, "actively faulty node tolerance"},
+	{"E13", experiments.E13HardwareMeasuredPrecision, "hardware-measured precision"},
+	{"E14", experiments.E14ConvergenceShootout, "convergence-function ablation"},
+	{"E15", experiments.E15ReceiverCensus, "long-term GPS receiver census"},
+}
+
+func main() {
+	seed := flag.Uint64("seed", 1998, "base random seed (runs are reproducible per seed)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.id, r.des)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+
+	failed := 0
+	ran := 0
+	var results []experiments.Result
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		res := r.fn(*seed)
+		if *asJSON {
+			results = append(results, res)
+		} else {
+			res.Fprint(os.Stdout)
+		}
+		ran++
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "ntibench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "ntibench: no matching experiments (use -list)")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ntibench: %d experiment(s) with failed claims\n", failed)
+		os.Exit(1)
+	}
+	if !*asJSON {
+		fmt.Printf("all %d experiments reproduce the paper's claims (seed %d)\n", ran, *seed)
+	}
+}

@@ -1,0 +1,112 @@
+// Command ntisweep explores the synchronization design space: it sweeps
+// one parameter (cluster size, round period, background load, oscillator
+// frequency or fault tolerance) while holding the paper's prototype
+// configuration for everything else, and prints the achieved precision
+// and interval width per point.
+//
+// Usage:
+//
+//	ntisweep -param nodes            # 2..32 nodes
+//	ntisweep -param period           # 0.25..4 s rounds
+//	ntisweep -param load             # 0..60 % background traffic
+//	ntisweep -param fosc             # 1..20 MHz
+//	ntisweep -param f                # fault tolerance degree on 10 nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntisim/internal/cluster"
+	"ntisim/internal/metrics"
+	"ntisim/internal/timefmt"
+)
+
+func main() {
+	param := flag.String("param", "nodes", "sweep parameter: nodes|period|load|fosc|f")
+	seed := flag.Uint64("seed", 7, "random seed")
+	window := flag.Float64("window", 60, "measurement window [sim s]")
+	flag.Parse()
+
+	type point struct {
+		label string
+		mut   func(*cluster.Config)
+	}
+	var points []point
+	switch *param {
+	case "nodes":
+		for _, n := range []int{2, 4, 8, 16, 24, 32} {
+			n := n
+			points = append(points, point{fmt.Sprintf("n=%d", n), func(c *cluster.Config) { c.Nodes = n }})
+		}
+	case "period":
+		for _, p := range []float64{0.25, 0.5, 1, 2, 4} {
+			p := p
+			points = append(points, point{fmt.Sprintf("P=%.2gs", p), func(c *cluster.Config) {
+				c.Sync.RoundPeriod = timefmt.DurationFromSeconds(p)
+				c.Sync.ComputeDelay = timefmt.DurationFromSeconds(p / 4)
+			}})
+		}
+	case "load":
+		for _, l := range []float64{0, 0.15, 0.3, 0.45, 0.6} {
+			l := l
+			points = append(points, point{fmt.Sprintf("load=%.0f%%", l*100), func(c *cluster.Config) { c.BackgroundLoad = l }})
+		}
+	case "fosc":
+		for _, f := range []float64{1e6, 4e6, 10e6, 14e6, 20e6} {
+			f := f
+			points = append(points, point{fmt.Sprintf("f=%.0fMHz", f/1e6), func(c *cluster.Config) { c.OscHz = f }})
+		}
+	case "f":
+		for _, fv := range []int{0, 1, 2, 3, 4} {
+			fv := fv
+			points = append(points, point{fmt.Sprintf("F=%d", fv), func(c *cluster.Config) {
+				c.Nodes = 10
+				c.Sync.F = fv
+			}})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ntisweep: unknown parameter %q\n", *param)
+		os.Exit(2)
+	}
+
+	tb := metrics.Table{Header: []string{*param, "mean prec [µs]", "worst prec [µs]", "mean width ±[µs]", "CSP use"}}
+	for _, pt := range points {
+		cfg := cluster.Defaults(8, *seed)
+		pt.mut(&cfg)
+		c := cluster.New(cfg)
+		b := c.MeasureDelay(0, 1, 12)
+		for _, m := range c.Members {
+			m.Sync.SetDelayBounds(b)
+		}
+		c.Start(c.Sim.Now() + 1)
+		c.Sim.RunUntil(c.Sim.Now() + 20)
+		var prec, width metrics.Series
+		start := c.Sim.Now()
+		for t := start; t <= start+*window; t += 1 {
+			c.Sim.RunUntil(t)
+			cs := c.Snapshot()
+			prec.Add(cs.Precision)
+			var w metrics.Series
+			for _, m := range c.Members {
+				am, ap := m.U.Alpha()
+				w.Add((am.Duration().Seconds() + ap.Duration().Seconds()) / 2)
+			}
+			width.Add(w.Mean())
+		}
+		var used, sent uint64
+		for _, m := range c.Members {
+			st := m.Sync.Stats()
+			used += st.CSPsUsed
+			sent += st.CSPsSent
+		}
+		ideal := sent * uint64(len(c.Members)-1)
+		use := "n/a"
+		if ideal > 0 {
+			use = fmt.Sprintf("%.1f%%", 100*float64(used)/float64(ideal))
+		}
+		tb.AddRow(pt.label, metrics.Us(prec.Mean()), metrics.Us(prec.Max()), metrics.Us(width.Mean()), use)
+	}
+	tb.Fprint(os.Stdout)
+}

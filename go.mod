@@ -1,0 +1,3 @@
+module ntisim
+
+go 1.22

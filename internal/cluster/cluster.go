@@ -1,0 +1,217 @@
+// Package cluster assembles complete multi-node systems — the paper's
+// Fig. 2 architecture replicated N times on a shared medium — and
+// provides the measurement scaffolding used by the experiments: the
+// two-node ε setup of §4 and the 16-node prototype the paper announces.
+package cluster
+
+import (
+	"fmt"
+
+	"ntisim/internal/clocksync"
+	"ntisim/internal/comco"
+	"ntisim/internal/cpu"
+	"ntisim/internal/gps"
+	"ntisim/internal/kernel"
+	"ntisim/internal/metrics"
+	"ntisim/internal/network"
+	"ntisim/internal/oscillator"
+	"ntisim/internal/sim"
+	"ntisim/internal/timefmt"
+	"ntisim/internal/utcsu"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	Nodes int
+	Seed  uint64
+	// OscillatorFor returns the oscillator config of node i; default
+	// TCXO at OscHz.
+	OscillatorFor func(i int) oscillator.Config
+	// OscHz is the pacing frequency when OscillatorFor is nil (default
+	// 10 MHz; the paper's UTCSU accepts 1..20 MHz).
+	OscHz  float64
+	Medium network.MediumConfig
+	Kernel kernel.Config
+	COMCO  comco.Config
+	Sync   clocksync.Params
+	// ClockFactory builds the clock device the synchronizer steers;
+	// default wraps the node's UTCSU directly (clocksync.UTCSUClock).
+	// Experiment E8 substitutes baseline.CounterClock here.
+	ClockFactory func(u *utcsu.UTCSU) clocksync.Clock
+	// GPS maps node index → receiver config for GPS-equipped nodes.
+	GPS map[int]gps.Config
+	// BackgroundLoad injects competing KI/NI-style traffic at this
+	// utilization (0..0.9).
+	BackgroundLoad float64
+}
+
+// Defaults returns a ready-to-run n-node configuration.
+func Defaults(n int, seed uint64) Config {
+	return Config{
+		Nodes:  n,
+		Seed:   seed,
+		OscHz:  10e6,
+		Medium: network.DefaultLAN(),
+		Kernel: kernel.Config{CPU: cpu.DefaultMVME162(), Mode: kernel.ModeNTI, UseRxBaseLatch: true},
+		COMCO:  comco.Default82596(),
+		// A priori delay bounds for a 10 Mb/s LAN with 64-byte CSPs:
+		// serialization ≈ 51 µs + preamble + propagation + DMA terms.
+		// MeasureDelay tightens these further.
+		Sync: clocksync.Params{
+			DelayMin: timefmt.DurationFromSeconds(40e-6),
+			DelayMax: timefmt.DurationFromSeconds(120e-6),
+			// Tolerate a proportional share of faulty nodes; discarding
+			// the extreme intervals also de-noises the midpoint under
+			// occasional CSP loss.
+			F: fDefault(n),
+			// De-burst the per-round broadcasts.
+			StaggerSlot: timefmt.DurationFromSeconds(200e-6),
+		},
+	}
+}
+
+// fDefault is the default fault-tolerance degree for n nodes.
+func fDefault(n int) int {
+	f := (n - 1) / 3
+	if f > 5 {
+		f = 5
+	}
+	return f
+}
+
+// Member is one node of the cluster.
+type Member struct {
+	Index int
+	// Segment is the LAN segment index in a WANs-of-LANs topology
+	// (-1 for gateway nodes); 0 for single-LAN clusters.
+	Segment int
+	Osc     *oscillator.Oscillator
+	U       *utcsu.UTCSU
+	Node    *kernel.Node
+	Sync    *clocksync.Synchronizer
+	GPS     *clocksync.GPSAttachment
+	Rx      *gps.Receiver
+}
+
+// OffsetAndBounds implements metrics.Snapshotter through an SNU
+// snapshot: the clock's offset from simulated true time and the
+// real-time edges of its accuracy interval relative to true time.
+func (m *Member) OffsetAndBounds() (offset, loEdge, hiEdge float64) {
+	snap := m.U.Snapshot()
+	offset = snap.Clock.Seconds() - snap.TrueTime
+	loEdge = offset - snap.AlphaMinus.Duration().Seconds()
+	hiEdge = offset + snap.AlphaPlus.Duration().Seconds()
+	return offset, loEdge, hiEdge
+}
+
+// Cluster is the assembled system.
+type Cluster struct {
+	Sim *sim.Simulator
+	// Med is the (first) medium; Media lists all segments in a
+	// WANs-of-LANs topology.
+	Med     *network.Medium
+	Media   []*network.Medium
+	Members []*Member
+	cfg     Config
+}
+
+// New builds the cluster. Synchronizers are created but not started;
+// call Start (optionally after MeasureDelay has refined the bounds).
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.OscHz == 0 {
+		cfg.OscHz = 10e6
+	}
+	s := sim.New(cfg.Seed)
+	med := network.NewMedium(s, cfg.Medium)
+	c := &Cluster{Sim: s, Med: med, Media: []*network.Medium{med}, cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		oc := oscillator.TCXO(cfg.OscHz)
+		if cfg.OscillatorFor != nil {
+			oc = cfg.OscillatorFor(i)
+		}
+		osc := oscillator.New(s, oc, fmt.Sprintf("node%d", i))
+		u := utcsu.New(s, utcsu.Config{Osc: osc})
+		node := kernel.NewNode(s, uint16(i), u, med, cfg.Kernel, cfg.COMCO)
+		m := &Member{Index: i, Osc: osc, U: u, Node: node}
+		var clk clocksync.Clock = clocksync.UTCSUClock{UTCSU: u}
+		if cfg.ClockFactory != nil {
+			clk = cfg.ClockFactory(u)
+		}
+		m.Sync = clocksync.New(node, clk, cfg.Sync)
+		if gc, hasGPS := cfg.GPS[i]; hasGPS {
+			rho := cfg.Sync.RhoPPB
+			if rho == 0 {
+				rho = 2000
+			}
+			acc := timefmt.DurationFromSeconds(gc.AccuracyS)
+			if acc == 0 {
+				acc = timefmt.DurationFromSeconds(1e-6)
+			}
+			m.GPS = clocksync.AttachGPS(node, 0, acc, rho)
+			m.Rx = gps.New(s, gc, fmt.Sprintf("node%d", i), m.GPS.OnPulse)
+			m.Sync.AddExternal(m.GPS.Interval)
+		}
+		c.Members = append(c.Members, m)
+	}
+	if cfg.BackgroundLoad > 0 {
+		med.StartBackgroundLoad(cfg.BackgroundLoad, 400)
+	}
+	return c
+}
+
+// Start launches every synchronizer at the given simulated time.
+func (c *Cluster) Start(at float64) {
+	c.Sim.At(at, func() {
+		for _, m := range c.Members {
+			m.Sync.Start()
+		}
+	})
+}
+
+// Snapshot samples all clocks simultaneously.
+func (c *Cluster) Snapshot() metrics.ClusterSample {
+	nodes := make([]metrics.Snapshotter, len(c.Members))
+	for i, m := range c.Members {
+		nodes[i] = m
+	}
+	return metrics.Sample(c.Sim.Now(), nodes)
+}
+
+// RunSampled advances the simulation to `until`, sampling the cluster
+// every `every` seconds starting at from, and returns the samples.
+func (c *Cluster) RunSampled(from, until, every float64) []metrics.ClusterSample {
+	var out []metrics.ClusterSample
+	for t := from; t <= until; t += every {
+		c.Sim.RunUntil(t)
+		out = append(out, c.Snapshot())
+	}
+	return out
+}
+
+// MeasureDelay runs a round-trip campaign between members a and b and
+// returns the bounds (completing the simulation work synchronously).
+// Call before Start.
+func (c *Cluster) MeasureDelay(a, b, probes int) clocksync.DelayBounds {
+	c.Members[b].Node.EnableRTTResponder()
+	var res clocksync.DelayBounds
+	done := false
+	rho := c.cfg.Sync.RhoPPB
+	if rho == 0 {
+		rho = 2000
+	}
+	clocksync.MeasureDelay(c.Members[a].Node, c.Members[b].Node, rho, probes, func(b clocksync.DelayBounds) {
+		res = b
+		done = true
+	})
+	deadline := c.Sim.Now() + 60
+	for !done && c.Sim.Now() < deadline {
+		c.Sim.RunUntil(c.Sim.Now() + 0.5)
+	}
+	// Re-install the synchronizers' CI handlers that MeasureDelay
+	// displaced on member a.
+	c.Members[a].Sync.ReinstallHandler()
+	return res
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ntisim/internal/clocksync"
+	"ntisim/internal/kernel"
+	"ntisim/internal/network"
+	"ntisim/internal/oscillator"
+	"ntisim/internal/sim"
+	"ntisim/internal/utcsu"
+)
+
+// NewWANOfLANs builds the generalized topology of paper footnote 2:
+// several LAN segments chained by gateway nodes, where "all gateway
+// nodes are also equipped with the NTI" — here literally: a gateway is
+// one node whose NTI serves two COMCOs on two segments through two SSU
+// pairs, so its CSPs are hardware-stamped on both LANs and its single
+// interval clock couples the segments' ensembles.
+//
+// The topology is a chain: segment 0 — gateways — segment 1 — … with
+// gatewaysPerLink parallel gateways on every link. Redundant gateways
+// are not only a fault-tolerance requirement: a convergence function
+// trimming f extremes ignores a single bridge's reference entirely, so
+// coupling segments under f-fault-tolerance needs at least f+1 gateways
+// per link. Members are ordered segment by segment, gateways last;
+// Member.Segment is -1 for gateways.
+func NewWANOfLANs(base Config, segments, nodesPerSegment int) *Cluster {
+	return NewWANOfLANsGW(base, segments, nodesPerSegment, base.Sync.F+1)
+}
+
+// NewWANOfLANsGW is NewWANOfLANs with an explicit gateway count per
+// link.
+func NewWANOfLANsGW(base Config, segments, nodesPerSegment, gatewaysPerLink int) *Cluster {
+	if segments < 2 || nodesPerSegment < 1 || gatewaysPerLink < 1 {
+		panic("cluster: WANs-of-LANs needs ≥2 segments, ≥1 node, ≥1 gateway")
+	}
+	s := sim.New(base.Seed)
+	if base.OscHz == 0 {
+		base.OscHz = 10e6
+	}
+	media := make([]*network.Medium, segments)
+	for i := range media {
+		media[i] = network.NewMedium(s, base.Medium)
+	}
+	c := &Cluster{Sim: s, Med: media[0], Media: media, cfg: base}
+
+	id := uint16(0)
+	mkNode := func(med *network.Medium, segment int) *Member {
+		oc := oscillator.TCXO(base.OscHz)
+		if base.OscillatorFor != nil {
+			oc = base.OscillatorFor(int(id))
+		}
+		osc := oscillator.New(s, oc, fmt.Sprintf("wol%d", id))
+		u := utcsu.New(s, utcsu.Config{Osc: osc})
+		node := kernel.NewNode(s, id, u, med, base.Kernel, base.COMCO)
+		m := &Member{Index: int(id), Segment: segment, Osc: osc, U: u, Node: node}
+		m.Sync = clocksync.New(node, clocksync.UTCSUClock{UTCSU: u}, base.Sync)
+		id++
+		c.Members = append(c.Members, m)
+		return m
+	}
+
+	for seg := 0; seg < segments; seg++ {
+		for i := 0; i < nodesPerSegment; i++ {
+			mkNode(media[seg], seg)
+		}
+	}
+	for seg := 0; seg+1 < segments; seg++ {
+		for g := 0; g < gatewaysPerLink; g++ {
+			gw := mkNode(media[seg], -1)
+			gw.Node.AttachSegment(media[seg+1])
+		}
+	}
+	return c
+}
+
+// SegmentPrecision computes max|Cp−Cq| over the members of one segment
+// (gateways excluded), from a fresh snapshot.
+func (c *Cluster) SegmentPrecision(segment int) float64 {
+	var lo, hi float64
+	first := true
+	for _, m := range c.Members {
+		if m.Segment != segment {
+			continue
+		}
+		off, _, _ := m.OffsetAndBounds()
+		if first {
+			lo, hi = off, off
+			first = false
+			continue
+		}
+		if off < lo {
+			lo = off
+		}
+		if off > hi {
+			hi = off
+		}
+	}
+	if first {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+
+	"ntisim/internal/metrics"
+	"ntisim/internal/timefmt"
+)
+
+func TestWANOfLANsTopology(t *testing.T) {
+	base := Defaults(11, 21)
+	base.Sync.F = 1
+	c := NewWANOfLANs(base, 2, 4)
+	// 2 segments × 4 nodes + F+1 = 2 gateways.
+	if len(c.Members) != 10 {
+		t.Fatalf("members = %d", len(c.Members))
+	}
+	if len(c.Media) != 2 {
+		t.Fatalf("media = %d", len(c.Media))
+	}
+	gws := 0
+	for _, m := range c.Members {
+		if m.Segment == -1 {
+			gws++
+			if m.Node.Channels() != 2 {
+				t.Errorf("gateway has %d channels", m.Node.Channels())
+			}
+		} else if m.Node.Channels() != 1 {
+			t.Errorf("plain node has %d channels", m.Node.Channels())
+		}
+	}
+	if gws != 2 {
+		t.Errorf("gateways = %d", gws)
+	}
+}
+
+func TestWANOfLANsCouplesSegments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long segmented run")
+	}
+	base := Defaults(11, 22)
+	base.Sync.F = 1
+	c := NewWANOfLANs(base, 2, 4)
+	b := c.MeasureDelay(0, 1, 12)
+	for _, m := range c.Members {
+		m.Sync.SetDelayBounds(b)
+	}
+	c.Start(c.Sim.Now() + 1)
+	c.Sim.RunUntil(c.Sim.Now() + 40)
+	var global metrics.Series
+	start := c.Sim.Now()
+	for x := start; x <= start+60; x += 2 {
+		c.Sim.RunUntil(x)
+		global.Add(c.Snapshot().Precision)
+	}
+	if global.Max() > 15e-6 {
+		t.Errorf("cross-segment precision %v", global.Max())
+	}
+	// Both segments individually tighter than the global bound.
+	if s0 := c.SegmentPrecision(0); s0 > 6e-6 {
+		t.Errorf("segment 0 precision %v", s0)
+	}
+	if s1 := c.SegmentPrecision(1); s1 > 6e-6 {
+		t.Errorf("segment 1 precision %v", s1)
+	}
+}
+
+func TestWANOfLANsThreeSegments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long segmented run")
+	}
+	base := Defaults(11, 23)
+	base.Sync.F = 1
+	c := NewWANOfLANsGW(base, 3, 3, 2)
+	if len(c.Media) != 3 {
+		t.Fatalf("media = %d", len(c.Media))
+	}
+	if len(c.Members) != 3*3+2*2 {
+		t.Fatalf("members = %d", len(c.Members))
+	}
+	c.Start(1)
+	c.Sim.RunUntil(60)
+	var global metrics.Series
+	for x := 60.0; x <= 120; x += 2 {
+		c.Sim.RunUntil(x)
+		global.Add(c.Snapshot().Precision)
+	}
+	// Three segments, two hops end to end: still bounded.
+	if global.Max() > 40e-6 {
+		t.Errorf("three-segment precision %v", global.Max())
+	}
+}
+
+func TestClusterLeapSecond(t *testing.T) {
+	// Hardware leap-second support (paper §3.3) across a synchronized
+	// cluster: every node arms its leap timer for the same UTC second;
+	// afterwards the ensemble is still tight and the clocks stepped
+	// together by -1 s relative to true time.
+	c := New(Defaults(4, 24))
+	c.Start(1)
+	c.Sim.RunUntil(10)
+	leapAt := timefmt.Stamp(timefmt.DurationFromSeconds(30))
+	for _, m := range c.Members {
+		m.U.LeapAt(leapAt, +1)
+	}
+	c.Sim.RunUntil(29)
+	before := c.Snapshot()
+	c.Sim.RunUntil(40)
+	after := c.Snapshot()
+	if after.Precision > 10e-6 {
+		t.Errorf("precision after leap: %v", after.Precision)
+	}
+	// All clocks now read ~1 s behind true time (inserted second).
+	for i, off := range after.Offsets {
+		if off > -0.9 || off < -1.1 {
+			t.Errorf("node %d offset after leap insert: %v", i, off)
+		}
+	}
+	_ = before
+}
+
+func TestSegmentPrecisionEmpty(t *testing.T) {
+	c := New(Defaults(2, 25))
+	if p := c.SegmentPrecision(7); p != 0 {
+		t.Errorf("empty segment precision %v", p)
+	}
+}

@@ -1,0 +1,202 @@
+// Package comco models the Communications Coprocessor: an Intel
+// 82596CA-class Ethernet controller that moves packets between the NTI's
+// shared memory and the network medium by DMA, independently of the CPU
+// (paper Fig. 2).
+//
+// The timing of its individual memory accesses is what the NTI's
+// timestamping exploits, and what is left of the transmission/reception
+// uncertainty ε once the NTI is in place (paper §3.1): on transmit, the
+// header words are prefetched into the on-chip FIFO right after medium
+// acquisition (the read of the trigger word at offset 0x14 raises
+// TRANSMIT); on receive, the header words are written to memory after
+// frame end, behind a bus-arbitration delay (the write of offset 0x1C
+// raises RECEIVE). Both paths carry small bounded jitter — the "ongoing
+// data transmission and the bus arbitration" terms the paper identifies.
+package comco
+
+import (
+	"encoding/binary"
+
+	"ntisim/internal/network"
+	"ntisim/internal/nti"
+	"ntisim/internal/sim"
+)
+
+// Config describes the controller's DMA timing.
+type Config struct {
+	DMAWordTimeS float64 // per 32-bit word bus transfer; default 400 ns
+	TxFIFOBytes  int     // prefetch FIFO depth; default 32
+	// Bus arbitration before a DMA burst: uniform in [Min, Max].
+	ArbMinS float64 // default 200 ns
+	ArbMaxS float64 // default 1.5 µs
+}
+
+// Default82596 returns timings representative of the 82596CA on a VME
+// carrier.
+func Default82596() Config {
+	return Config{
+		DMAWordTimeS: 400e-9,
+		TxFIFOBytes:  32,
+		ArbMinS:      100e-9,
+		ArbMaxS:      400e-9,
+	}
+}
+
+// COMCO is one controller instance attached to a medium and an NTI.
+type COMCO struct {
+	s       *sim.Simulator
+	nti     *nti.NTI
+	med     *network.Medium
+	cfg     Config
+	rng     *sim.RNG
+	station int
+	channel int
+
+	rxNext     int
+	onRxStored func(headerBase uint32, length int, corrupt bool)
+
+	txFrames uint64
+	rxFrames uint64
+}
+
+// New creates a controller on the NTI's channel 0, attaching it to the
+// medium as a station.
+func New(s *sim.Simulator, module *nti.NTI, med *network.Medium, cfg Config, label string) *COMCO {
+	return NewChannel(s, module, med, cfg, label, 0)
+}
+
+// NewChannel creates a controller on an arbitrary NTI channel — gateway
+// nodes run one controller per attached LAN segment, each wired to its
+// own SSU pair (paper §3.3).
+func NewChannel(s *sim.Simulator, module *nti.NTI, med *network.Medium, cfg Config, label string, channel int) *COMCO {
+	if cfg.DMAWordTimeS <= 0 {
+		cfg.DMAWordTimeS = 400e-9
+	}
+	if cfg.TxFIFOBytes <= 0 {
+		cfg.TxFIFOBytes = 32
+	}
+	if cfg.ArbMaxS < cfg.ArbMinS {
+		cfg.ArbMaxS = cfg.ArbMinS
+	}
+	c := &COMCO{s: s, nti: module, med: med, cfg: cfg, rng: s.RNG("comco/" + label), channel: channel}
+	c.station = med.Attach(c)
+	return c
+}
+
+// Channel returns the NTI channel this controller is wired to.
+func (c *COMCO) Channel() int { return c.channel }
+
+// Station returns the controller's station id on the medium.
+func (c *COMCO) Station() int { return c.station }
+
+// OnRxStored installs the frame-reception callback: it fires when the
+// last header word has been deposited in NTI memory, i.e. at the moment
+// the real chip would raise its reception interrupt. corrupt reports a
+// CRC failure — the frame was still DMA'd (and the RECEIVE trigger
+// fired! paper footnote 4) but must be discarded by software.
+func (c *COMCO) OnRxStored(fn func(headerBase uint32, length int, corrupt bool)) {
+	c.onRxStored = fn
+}
+
+// Transmit queues the CSP image residing in transmit header slot
+// headerIdx (64 bytes, already written by the CPU) for transmission,
+// with extra payload bytes appended verbatim. The frame's header bytes
+// are produced by timed DMA reads through the NTI's decode logic, so the
+// TRANSMIT trigger fires and the stamp words are inserted on the fly.
+func (c *COMCO) Transmit(headerIdx int, extra []byte, dst int) {
+	base := nti.TxHeaderAddrCh(c.channel, headerIdx)
+	payload := make([]byte, nti.HeaderSize+len(extra))
+	copy(payload[nti.HeaderSize:], extra)
+	f := network.Frame{Src: c.station, Dst: dst, Payload: payload}
+	c.med.Send(f, func(at float64) { c.fetchHeader(base, payload, at) })
+	c.txFrames++
+}
+
+// TransmitRaw sends a pre-assembled frame without going through the
+// NTI's transmit-header decode logic — the path a system *without* NTI
+// support uses (the software-only baselines of experiment E2): the
+// payload bytes leave exactly as software wrote them, so any timestamp
+// they carry was taken before medium access.
+func (c *COMCO) TransmitRaw(payload []byte, dst int) {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	c.med.Send(network.Frame{Src: c.station, Dst: dst, Payload: buf}, nil)
+	c.txFrames++
+}
+
+// fetchHeader schedules the DMA reads that fill the frame's header bytes
+// while serialization is under way. Word w is read either during the
+// initial FIFO prefill (back-to-back at DMA speed) or, once the FIFO is
+// primed, paced by the wire draining it.
+func (c *COMCO) fetchHeader(base uint32, payload []byte, acquiredAt float64) {
+	arb := c.rng.Uniform(c.cfg.ArbMinS, c.cfg.ArbMaxS)
+	preamble := 64 / c.med.Bitrate() // preamble bits on the wire
+	for w := 0; w < nti.HeaderSize/4; w++ {
+		off := uint32(4 * w)
+		var t float64
+		if int(off) < c.cfg.TxFIFOBytes {
+			t = acquiredAt + arb + float64(w)*c.cfg.DMAWordTimeS
+		} else {
+			drained := float64(int(off)-c.cfg.TxFIFOBytes) * 8 / c.med.Bitrate()
+			t = acquiredAt + arb + preamble + drained
+		}
+		w := w
+		c.s.At(t, func() {
+			v := c.nti.COMCORead32(base + uint32(4*w))
+			binary.BigEndian.PutUint32(payload[4*w:], v)
+		})
+	}
+}
+
+// FrameArrived implements network.Station: the controller DMAs the
+// received header into the next receive-header slot, word by word,
+// behind a bus-arbitration delay. The write of the RxTrigOffset word
+// raises RECEIVE in the NTI.
+func (c *COMCO) FrameArrived(f network.Frame) {
+	if len(f.Payload) < nti.HeaderSize {
+		return // runt or background frame: no CSP header to store
+	}
+	slot := c.rxNext
+	c.rxNext = (c.rxNext + 1) % nti.RxHeadersPerCh
+	base := nti.RxHeaderAddrCh(c.channel, slot)
+	arb := c.rng.Uniform(c.cfg.ArbMinS, c.cfg.ArbMaxS)
+	words := nti.HeaderSize / 4
+	hdr := make([]byte, nti.HeaderSize)
+	copy(hdr, f.Payload[:nti.HeaderSize])
+	for w := 0; w < words; w++ {
+		w := w
+		c.s.After(arb+float64(w)*c.cfg.DMAWordTimeS, func() {
+			c.nti.COMCOWrite32(base+uint32(4*w), binary.BigEndian.Uint32(hdr[4*w:]))
+		})
+	}
+	// Payload beyond the header lands in the paired data-buffer slot
+	// (truncated to the slot size, like a real descriptor chain would
+	// continue — CSPs never need more).
+	extra := f.Payload[nti.HeaderSize:]
+	if len(extra) > nti.DataSlotSize {
+		extra = extra[:nti.DataSlotSize]
+	}
+	if len(extra) > 0 {
+		dataBase := nti.DataSlotAddr(c.channel, slot)
+		buf := make([]byte, (len(extra)+3)/4*4)
+		copy(buf, extra)
+		for w := 0; w < len(buf)/4; w++ {
+			w := w
+			c.s.After(arb+float64(words+w)*c.cfg.DMAWordTimeS, func() {
+				c.nti.COMCOWrite32(dataBase+uint32(4*w), binary.BigEndian.Uint32(buf[4*w:]))
+			})
+		}
+		words += len(buf) / 4
+	}
+	length := len(f.Payload)
+	corrupt := f.Corrupt
+	c.s.After(arb+float64(words)*c.cfg.DMAWordTimeS, func() {
+		c.rxFrames++
+		if c.onRxStored != nil {
+			c.onRxStored(base, length, corrupt)
+		}
+	})
+}
+
+// Stats reports frames transmitted and stored.
+func (c *COMCO) Stats() (tx, rx uint64) { return c.txFrames, c.rxFrames }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"ntisim/internal/gps"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Options{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewSystem(Options{Nodes: 2, TimestampMode: "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if _, err := NewSystem(Options{Nodes: 2, OscillatorGrade: "cesium"}); err == nil {
+		t.Error("bogus oscillator grade accepted")
+	}
+	if _, err := NewSystem(Options{Nodes: 2, GPS: []int{7}}); err == nil {
+		t.Error("out-of-range GPS index accepted")
+	}
+}
+
+func TestBasicRun(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(15, 30, 1)
+	if rep.Precision.N() == 0 {
+		t.Fatal("no samples")
+	}
+	if rep.Precision.Max() > 10e-6 {
+		t.Errorf("precision %v", rep.Precision.Max())
+	}
+	if rep.ContainmentViolations != 0 {
+		t.Errorf("%d containment violations", rep.ContainmentViolations)
+	}
+	if len(rep.PerNode) != 4 {
+		t.Errorf("per-node stats: %d", len(rep.PerNode))
+	}
+	for i, st := range rep.PerNode {
+		if st.Rounds == 0 {
+			t.Errorf("node %d ran no rounds", i)
+		}
+	}
+}
+
+func TestMeasuredDelays(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 4, Seed: 2, MeasureDelays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(15, 30, 1)
+	if sys.DelayBounds.Samples == 0 {
+		t.Error("delay measurement skipped")
+	}
+	if rep.Precision.Max() > 10e-6 {
+		t.Errorf("precision %v", rep.Precision.Max())
+	}
+	// With measured (unbiased) bounds the ensemble does not creep:
+	// accuracy stays bounded over the window even without GPS.
+	if rep.Accuracy.Max() > 500e-6 {
+		t.Errorf("accuracy drifting: %v", rep.Accuracy.Max())
+	}
+}
+
+func TestGPSOption(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 4, Seed: 3, GPS: []int{0}, MeasureDelays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(30, 60, 1)
+	if rep.Accuracy.Max() > 50e-6 {
+		t.Errorf("UTC accuracy with GPS: %v", rep.Accuracy.Max())
+	}
+	if rep.PerNode[0].ExternalAccepted == 0 {
+		t.Error("GPS never accepted")
+	}
+}
+
+func TestGPSFaultOption(t *testing.T) {
+	sys, err := NewSystem(Options{
+		Nodes: 4, Seed: 4, MeasureDelays: true,
+		GPSFaults: map[int][]gps.Fault{
+			0: {{Kind: gps.FaultOffset, Start: 40, Magnitude: 20e-3}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(60, 40, 1)
+	if rep.PerNode[0].ExternalRejected == 0 {
+		t.Error("fault never rejected")
+	}
+	if rep.Precision.Max() > 20e-6 {
+		t.Errorf("precision under GPS fault: %v", rep.Precision.Max())
+	}
+}
+
+func TestTaskModeIsWorse(t *testing.T) {
+	run := func(mode string) float64 {
+		sys, err := NewSystem(Options{Nodes: 4, Seed: 5, TimestampMode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := sys.Run(15, 30, 1)
+		return rep.Precision.Max()
+	}
+	nti := run("nti")
+	task := run("task")
+	if task < 5*nti {
+		t.Errorf("task-level sync (%v) should be far worse than NTI (%v)", task, nti)
+	}
+}
+
+func TestIdempotentStart(t *testing.T) {
+	sys, _ := NewSystem(Options{Nodes: 2, Seed: 6})
+	sys.Start()
+	sys.Start()
+	rep := sys.Run(5, 5, 1)
+	if rep.Precision.N() == 0 {
+		t.Error("no samples after double start")
+	}
+}

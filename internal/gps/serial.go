@@ -1,0 +1,171 @@
+package gps
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ntisim/internal/sim"
+)
+
+// Serial time-of-day path. The 1pps edge only marks *that* a second
+// began; *which* second it was arrives later over a slow serial link
+// (paper §3.3: "additional and less time critical information is
+// usually provided via a serial interface and handled off-chip the
+// UTCSU"). This file models that path: an NMEA-0183-style ZDA sentence
+// per second, delivered a few hundred ms after its pulse, plus the
+// pairing logic the off-chip software needs.
+
+// EncodeZDA builds a "$GPZDA,<sssssssss>.00,...*CS" sentence labelling
+// the UTC second sec (the simulation's UTC is a flat seconds count, so
+// the time-of-day fields carry the count directly).
+func EncodeZDA(sec int64) string {
+	body := fmt.Sprintf("GPZDA,%d.00,01,01,1997,00,00", sec)
+	return fmt.Sprintf("$%s*%02X", body, nmeaChecksum(body))
+}
+
+// Errors returned by ParseZDA.
+var (
+	ErrSentenceFraming  = errors.New("gps: bad sentence framing")
+	ErrSentenceChecksum = errors.New("gps: sentence checksum mismatch")
+	ErrSentenceFields   = errors.New("gps: malformed sentence fields")
+)
+
+// ParseZDA extracts the labelled second from a ZDA sentence, verifying
+// the NMEA checksum.
+func ParseZDA(s string) (sec int64, err error) {
+	if len(s) < 4 || s[0] != '$' {
+		return 0, ErrSentenceFraming
+	}
+	star := strings.LastIndexByte(s, '*')
+	if star < 0 || star+3 != len(s) {
+		return 0, ErrSentenceFraming
+	}
+	body := s[1:star]
+	want, err := strconv.ParseUint(s[star+1:], 16, 8)
+	if err != nil {
+		return 0, ErrSentenceFraming
+	}
+	if nmeaChecksum(body) != uint8(want) {
+		return 0, ErrSentenceChecksum
+	}
+	fields := strings.Split(body, ",")
+	if len(fields) < 2 || fields[0] != "GPZDA" {
+		return 0, ErrSentenceFields
+	}
+	dot := strings.IndexByte(fields[1], '.')
+	if dot < 0 {
+		dot = len(fields[1])
+	}
+	sec, err = strconv.ParseInt(fields[1][:dot], 10, 64)
+	if err != nil {
+		return 0, ErrSentenceFields
+	}
+	return sec, nil
+}
+
+// nmeaChecksum XORs the sentence body, per NMEA-0183.
+func nmeaChecksum(body string) uint8 {
+	var c uint8
+	for i := 0; i < len(body); i++ {
+		c ^= body[i]
+	}
+	return c
+}
+
+// SerialConfig parameterizes the serial side channel.
+type SerialConfig struct {
+	// DelayMeanS/DelayJitterS: the sentence for second k leaves the
+	// receiver well after the pulse (UART at 4800 baud plus firmware).
+	// Defaults: 300 ms ± 100 ms.
+	DelayMeanS   float64
+	DelayJitterS float64
+}
+
+// StartSerial attaches a serial emitter to the simulator: for every
+// labelled second it delivers the corresponding ZDA sentence after the
+// configured delay. It returns the feed function to be called by the
+// receiver's pulse path (Receiver.New's out callback can fan out to it).
+func StartSerial(s *sim.Simulator, cfg SerialConfig, label string, out func(sentence string)) func(Pulse) {
+	if cfg.DelayMeanS <= 0 {
+		cfg.DelayMeanS = 0.3
+	}
+	if cfg.DelayJitterS < 0 {
+		cfg.DelayJitterS = 0
+	}
+	if cfg.DelayJitterS == 0 {
+		cfg.DelayJitterS = 0.1
+	}
+	rng := s.RNG("gps-serial/" + label)
+	lastDelivery := 0.0
+	return func(p Pulse) {
+		sentence := EncodeZDA(p.LabelSec)
+		d := rng.TruncNormal(cfg.DelayMeanS, cfg.DelayJitterS/2, 0.05, cfg.DelayMeanS+cfg.DelayJitterS)
+		at := s.Now() + d
+		// A serial line is FIFO: a sentence can be late, but never
+		// overtake its predecessor.
+		if at <= lastDelivery {
+			at = lastDelivery + 1e-3
+		}
+		lastDelivery = at
+		s.At(at, func() {
+			if out != nil {
+				out(sentence)
+			}
+		})
+	}
+}
+
+// SerialPairer reunites hardware pps samples with the serial sentences
+// that label them — the bookkeeping the paper leaves to off-chip
+// software. A pulse is identified by its local GPU timestamp; the next
+// sentence to arrive labels the oldest unlabelled pulse (sentences
+// cannot overtake each other on a serial line).
+type SerialPairer struct {
+	pending []pairerEntry
+	out     func(labelSec int64, localStamp int64)
+	dropped int
+}
+
+type pairerEntry struct{ local int64 }
+
+// NewSerialPairer creates a pairer; out receives (label, local GPU
+// stamp) pairs, the input the clock-validation layer needs.
+func NewSerialPairer(out func(labelSec int64, localStamp int64)) *SerialPairer {
+	return &SerialPairer{out: out}
+}
+
+// PulseSampled records a hardware pps sample (the GPU stamp, flattened
+// to int64 for transport).
+func (sp *SerialPairer) PulseSampled(localStamp int64) {
+	sp.pending = append(sp.pending, pairerEntry{local: localStamp})
+	// A sentence must arrive within a second or two; a deeper backlog
+	// means sentences were lost — drop the stale half to resynchronize.
+	if len(sp.pending) > 4 {
+		sp.dropped += len(sp.pending) - 2
+		sp.pending = sp.pending[len(sp.pending)-2:]
+	}
+}
+
+// SentenceReceived pairs an arriving sentence with the oldest pending
+// pulse. Unparseable sentences are counted and skipped.
+func (sp *SerialPairer) SentenceReceived(sentence string) {
+	sec, err := ParseZDA(sentence)
+	if err != nil {
+		sp.dropped++
+		return
+	}
+	if len(sp.pending) == 0 {
+		sp.dropped++
+		return
+	}
+	e := sp.pending[0]
+	sp.pending = sp.pending[1:]
+	if sp.out != nil {
+		sp.out(sec, e.local)
+	}
+}
+
+// Dropped reports lost pairings (diagnostics).
+func (sp *SerialPairer) Dropped() int { return sp.dropped }

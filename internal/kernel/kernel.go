@@ -1,0 +1,438 @@
+// Package kernel models the node software stack of paper §4 / Fig. 9:
+// a pSOS⁺ᵐ-style real-time kernel add-on whose COMCO driver multiplexes
+// three interfaces onto the controller — the Kernel Interface (KI) for
+// remote kernel objects, the Network Interface (NI) for TCP/IP-style
+// traffic, and the Clock Interface (CI) for the synchronization
+// algorithm. CSPs sent and received via the CI are timestamped by the
+// NTI hardware; KI/NI traffic passes through untouched, sharing the
+// medium (and thereby creating exactly the load that software-only
+// timestamping suffers from).
+//
+// The reception path reproduces the two-stage ISR structure the NTI's
+// Receive Header Base register exists for (paper §3.4 + footnote 4):
+// the RECEIVE-transition ISR moves the sampled stamp from the UTCSU
+// register into the unused tail of the correct receive header before the
+// next CSP can overwrite the register; the frame-stored ISR then hands
+// the completed header to the CI task level.
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ntisim/internal/comco"
+	"ntisim/internal/cpu"
+	"ntisim/internal/csp"
+	"ntisim/internal/network"
+	"ntisim/internal/nti"
+	"ntisim/internal/sim"
+	"ntisim/internal/timefmt"
+	"ntisim/internal/utcsu"
+)
+
+// TimestampMode selects where CSPs are timestamped — the three classes
+// compared in experiment E2.
+type TimestampMode int
+
+const (
+	// ModeNTI uses the hardware triggers: transmit stamps are inserted
+	// on the fly by the NTI; receive stamps come from the RECEIVE SSU.
+	ModeNTI TimestampMode = iota
+	// ModeISR timestamps in software at interrupt level: transmit at
+	// driver entry (before medium access!), receive in the frame ISR.
+	ModeISR
+	// ModeTask timestamps in software at task level: transmit when the
+	// CSP is assembled, receive when the CI task processes it — the
+	// purely software-based approach (steps 1 and 7 of §3.1).
+	ModeTask
+)
+
+func (m TimestampMode) String() string {
+	switch m {
+	case ModeNTI:
+		return "NTI"
+	case ModeISR:
+		return "ISR"
+	case ModeTask:
+		return "Task"
+	}
+	return fmt.Sprintf("TimestampMode(%d)", int(m))
+}
+
+// Config assembles a node's software stack.
+type Config struct {
+	CPU  cpu.Config
+	Mode TimestampMode
+	// UseRxBaseLatch selects whether the stamp-move ISR uses the NTI's
+	// Receive Header Base register (true, the paper's design) or guesses
+	// the header from its software ring pointer (false: the unreliable
+	// alternative footnote 4 warns about). Only meaningful in ModeNTI.
+	UseRxBaseLatch bool
+}
+
+// Arrival is what the CI delivers to the synchronization algorithm.
+type Arrival struct {
+	Pkt csp.Packet
+	// RxStamp is the receive time/accuracy stamp according to the
+	// configured TimestampMode. StampOK is false when the hardware stamp
+	// could not be attributed to this packet (overrun without latch).
+	RxStamp  timefmt.Stamp
+	RxAlphaM timefmt.Alpha
+	RxAlphaP timefmt.Alpha
+	StampOK  bool
+	// At is the simulation time of CI delivery (diagnostics only).
+	At float64
+}
+
+// Node is one complete station: CPU + UTCSU + NTI + COMCO(s) + driver.
+// Ordinary nodes have one network channel; gateway nodes in a
+// WANs-of-LANs topology (paper footnote 2) attach further segments via
+// AttachSegment, each wired to its own SSU pair of the same UTCSU.
+type Node struct {
+	ID  uint16
+	Sim *sim.Simulator
+	CPU *cpu.CPU
+
+	U     *utcsu.UTCSU
+	NTI   *nti.NTI
+	COMCO *comco.COMCO // channel 0, kept for the common single-LAN case
+
+	chans []*nodeChannel
+
+	cfg Config
+	seq uint16
+
+	ciHandler func(Arrival)
+	kiHandler func(from uint16, payload []byte)
+	niHandler func(from uint16, payload []byte)
+
+	// rxMeta holds the per-header sampled accuracies and validity, the
+	// kernel-private part of the stamp-move bookkeeping (conceptually in
+	// the NTI's System Structures section).
+	rxMeta map[uint32]rxMetaEntry
+
+	overruns     uint64
+	ciDelivered  uint64
+	rttResponder bool
+
+	// stationOf maps a node id to its medium station; nodes are attached
+	// in id order by the cluster builder, so the default is identity.
+	stationOf func(uint16) int
+
+	comcoCfg comco.Config
+}
+
+type rxMetaEntry struct {
+	alphaM, alphaP timefmt.Alpha
+	valid          bool
+}
+
+// nodeChannel is the driver state of one network channel.
+type nodeChannel struct {
+	comco  *comco.COMCO
+	txNext int
+	// rxGuessSlot is the receive-header slot the kernel *believes* the
+	// next RECEIVE trigger belongs to — the software ring pointer used
+	// when the Receive Header Base latch is disabled (footnote 4).
+	rxGuessSlot int
+	lastMoveSeq uint64
+}
+
+// NewNode wires a node together and installs its interrupt plumbing.
+func NewNode(s *sim.Simulator, id uint16, u *utcsu.UTCSU, med *network.Medium, cfg Config, comcoCfg comco.Config) *Node {
+	n := &Node{
+		ID:        id,
+		Sim:       s,
+		CPU:       cpu.New(s, cfg.CPU, fmt.Sprintf("n%d", id)),
+		U:         u,
+		cfg:       cfg,
+		rxMeta:    make(map[uint32]rxMetaEntry),
+		stationOf: func(node uint16) int { return int(node) },
+	}
+	n.NTI = nti.New(u)
+	n.comcoCfg = comcoCfg
+	n.NTI.OnInterrupt(n.moduleISR)
+	n.NTI.EnableInts()
+	n.AttachSegment(med)
+	n.COMCO = n.chans[0].comco
+	return n
+}
+
+// AttachSegment wires the node to an additional LAN segment through the
+// NTI's next free channel (its own SSU pair and header partitions) and
+// returns the channel index. Gateway nodes in a WANs-of-LANs topology
+// call this once per extra segment.
+func (n *Node) AttachSegment(med *network.Medium) int {
+	ch := len(n.chans)
+	if ch >= nti.NumChannels {
+		panic("kernel: no free NTI channel for another segment")
+	}
+	nc := &nodeChannel{
+		comco: comco.NewChannel(n.Sim, n.NTI, med, n.comcoCfg, fmt.Sprintf("n%d.%d", n.ID, ch), ch),
+	}
+	n.chans = append(n.chans, nc)
+	nc.comco.OnRxStored(func(base uint32, length int, corrupt bool) {
+		n.frameStored(ch, base, length, corrupt)
+	})
+	if n.cfg.Mode == ModeNTI {
+		// Arm the RECEIVE transition interrupt that drives the
+		// stamp-move ISR.
+		n.U.SSU(2*ch + 1).EnableInterrupt(true)
+	}
+	return ch
+}
+
+// Channels reports the number of attached segments.
+func (n *Node) Channels() int { return len(n.chans) }
+
+// Station returns the node's medium station id.
+func (n *Node) Station() int { return n.COMCO.Station() }
+
+// OnCSP installs the CI handler.
+func (n *Node) OnCSP(fn func(Arrival)) { n.ciHandler = fn }
+
+// OnKernelMsg installs the KI handler.
+func (n *Node) OnKernelMsg(fn func(from uint16, payload []byte)) { n.kiHandler = fn }
+
+// OnNetMsg installs the NI handler.
+func (n *Node) OnNetMsg(fn func(from uint16, payload []byte)) { n.niHandler = fn }
+
+// EnableRTTResponder makes the node echo KindRTTReq probes at ISR level.
+func (n *Node) EnableRTTResponder() { n.rttResponder = true }
+
+// Overruns reports receive-stamp overruns detected by the stamp-move ISR.
+func (n *Node) Overruns() uint64 { return n.overruns }
+
+// CIDelivered reports packets handed to the CI handler.
+func (n *Node) CIDelivered() uint64 { return n.ciDelivered }
+
+// SendCSP transmits a clock synchronization packet. In ModeNTI the
+// transmit stamp fields are filled in flight by the hardware; in the
+// software modes they are filled here, before the frame ever contends
+// for the medium — which is precisely their handicap.
+// A broadcast goes out on every attached segment (gateway nodes relay
+// their interval to both LANs, each transmission hardware-stamped on
+// its own channel); a unicast uses channel 0.
+func (n *Node) SendCSP(p csp.Packet, dst int) {
+	if dst == network.Broadcast {
+		for ch := range n.chans {
+			n.sendCSPOn(ch, p, dst)
+		}
+		return
+	}
+	n.sendCSPOn(0, p, dst)
+}
+
+// SendCSPOn transmits on one specific channel (segment).
+func (n *Node) SendCSPOn(ch int, p csp.Packet, dst int) { n.sendCSPOn(ch, p, dst) }
+
+func (n *Node) sendCSPOn(ch int, p csp.Packet, dst int) {
+	p.Node = n.ID
+	n.seq++
+	p.Seq = n.seq
+	nc := n.chans[ch]
+	switch n.cfg.Mode {
+	case ModeNTI:
+		slot := nc.txNext
+		nc.txNext = (nc.txNext + 1) % nti.TxHeadersPerCh
+		n.NTI.CPUWrite(nti.TxHeaderAddrCh(ch, slot), p.Encode())
+		nc.comco.Transmit(slot, nil, dst)
+	default:
+		st := n.U.Now()
+		am, ap := n.U.Alpha()
+		p.SetTxStamp(st)
+		p.TxAlphaM, p.TxAlphaP = am, ap
+		nc.comco.TransmitRaw(p.Encode(), dst)
+	}
+}
+
+// SendKernelMsg ships a KI message (shares the medium with CSPs).
+func (n *Node) SendKernelMsg(dst int, payload []byte) { n.sendData(csp.KindKernel, dst, payload) }
+
+// SendNetMsg ships an NI message.
+func (n *Node) SendNetMsg(dst int, payload []byte) { n.sendData(csp.KindNet, dst, payload) }
+
+func (n *Node) sendData(kind csp.Kind, dst int, payload []byte) {
+	p := csp.Packet{Kind: kind, Node: n.ID, Dest: uint16(dst)}
+	n.seq++
+	p.Seq = n.seq
+	buf := append(p.Encode(), payload...)
+	// KI/NI traffic does not need timestamping; it travels the raw path
+	// on channel 0 (paper Fig. 9: the COMCO driver multiplexes all three
+	// interfaces onto the same controller).
+	n.chans[0].comco.TransmitRaw(buf, dst)
+}
+
+// moduleISR is the first-level handler for the NTI's vectorized
+// interrupt. A RECEIVE transition (INTN) dispatches the stamp-move ISR.
+func (n *Node) moduleISR(vector uint8) {
+	if vector&nti.VecINTN != 0 && n.cfg.Mode == ModeNTI {
+		n.CPU.RunISR(n.stampMoveISR)
+		return
+	}
+	// Timer/application interrupts re-enable immediately: duty-timer
+	// callbacks are delivered by the UTCSU model itself.
+	n.NTI.EnableInts()
+}
+
+// stampMoveISR moves the sampled receive stamp from the UTCSU registers
+// into the RxSave field of the owning receive header — "an unused
+// portion of the receive buffer" (paper §3.1) — before the next CSP can
+// overwrite the register. The sampled accuracies go to a driver table in
+// the System Structures section.
+// The single INTN line does not encode the channel, so the ISR scans
+// every channel's sample unit and consumes whatever is new.
+func (n *Node) stampMoveISR() {
+	for ch, nc := range n.chans {
+		stamp, am, ap, latchedBase, seq := n.NTI.ReadRxSampleCh(ch)
+		if seq == nc.lastMoveSeq {
+			continue // no new sample on this channel
+		}
+		if seq != nc.lastMoveSeq+1 {
+			// A further trigger fired before this ISR ran: the register
+			// now belongs to a newer CSP; earlier stamps are gone.
+			n.overruns += seq - nc.lastMoveSeq - 1
+		}
+		nc.lastMoveSeq = seq
+		base := latchedBase
+		if !n.cfg.UseRxBaseLatch {
+			// Footnote-4 alternative: guess the header from the software
+			// ring pointer. Whenever the ISR was delayed past the next
+			// frame's trigger, the guess attributes the stamp to the
+			// wrong packet.
+			base = nti.RxHeaderAddrCh(ch, nc.rxGuessSlot)
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(stamp))
+		n.NTI.CPUWrite(base+csp.OffRxSave, buf[:])
+		n.rxMeta[base] = rxMetaEntry{alphaM: am, alphaP: ap, valid: true}
+	}
+	n.NTI.EnableInts()
+}
+
+// rxSaveRead pulls the stamp the stamp-move ISR deposited in a header.
+// A valid entry is consumed so a reused slot cannot leak a stale stamp;
+// an invalid read leaves the slot alone (the mover may still be pending
+// and the caller may retry).
+func (n *Node) rxSaveRead(base uint32) (timefmt.Stamp, timefmt.Alpha, timefmt.Alpha, bool) {
+	meta := n.rxMeta[base]
+	if !meta.valid {
+		return 0, 0, 0, false
+	}
+	delete(n.rxMeta, base)
+	var buf [8]byte
+	n.NTI.CPURead(base+csp.OffRxSave, buf[:])
+	st := timefmt.Stamp(binary.BigEndian.Uint64(buf[:]))
+	return st, meta.alphaM, meta.alphaP, true
+}
+
+// frameStored is the COMCO's reception-complete callback: it runs the
+// frame ISR on the CPU, then hands CSPs to the CI at task level.
+func (n *Node) frameStored(ch int, headerBase uint32, length int, corrupt bool) {
+	slot := int(headerBase-nti.RxHeaderAddrCh(ch, 0)) / nti.HeaderSize
+	// The kernel's software ring pointer: the *next* trigger should
+	// belong to the slot after this one (the no-latch guess).
+	n.chans[ch].rxGuessSlot = (slot + 1) % nti.RxHeadersPerCh
+	n.CPU.RunISR(func() {
+		isrStamp := n.U.Now()
+		isrAM, isrAP := n.U.Alpha()
+		var hdr [nti.HeaderSize]byte
+		n.NTI.CPURead(headerBase, hdr[:])
+		var payload []byte
+		if extra := length - nti.HeaderSize; extra > 0 {
+			if extra > nti.DataSlotSize {
+				extra = nti.DataSlotSize
+			}
+			payload = make([]byte, extra)
+			n.NTI.CPURead(nti.DataSlotAddr(ch, slot), payload)
+		}
+		if corrupt {
+			// CRC failure: discard. In ModeNTI the RECEIVE trigger fired
+			// anyway; the stamp-move ISR already consumed the sample, so
+			// nothing is left dangling (this is why a sequential-order
+			// scheme breaks, footnote 4).
+			return
+		}
+		pkt, err := csp.Decode(hdr[:])
+		if err != nil {
+			return
+		}
+		n.CPU.RunTask(func() { n.dispatch(pkt, payload, headerBase, 0, isrStamp, isrAM, isrAP) })
+	})
+}
+
+// dispatch runs at CI task level. In ModeNTI it consumes the hardware
+// stamp the stamp-move ISR deposited; if the mover lost the race against
+// task dispatch it retries once before declaring the stamp lost (a real
+// driver polls the validity marker the same way — the hardware register
+// alone cannot be trusted once further CSPs may have arrived).
+func (n *Node) dispatch(pkt csp.Packet, payload []byte, headerBase uint32, attempt int,
+	isrStamp timefmt.Stamp, isrAM, isrAP timefmt.Alpha) {
+	var hwStamp timefmt.Stamp
+	var hwAM, hwAP timefmt.Alpha
+	hwOK := false
+	if n.cfg.Mode == ModeNTI {
+		hwStamp, hwAM, hwAP, hwOK = n.rxSaveRead(headerBase)
+		if !hwOK && attempt < 2 {
+			n.CPU.RunTask(func() { n.dispatch(pkt, payload, headerBase, attempt+1, isrStamp, isrAM, isrAP) })
+			return
+		}
+	}
+	if n.rttResponder && pkt.Kind == csp.KindRTTReq {
+		if n.cfg.Mode == ModeNTI && hwOK {
+			n.respondRTT(pkt, hwStamp)
+		}
+		return
+	}
+	switch pkt.Kind {
+	case csp.KindKernel:
+		if n.kiHandler != nil {
+			n.kiHandler(pkt.Node, payload)
+		}
+		return
+	case csp.KindNet:
+		if n.niHandler != nil {
+			n.niHandler(pkt.Node, payload)
+		}
+		return
+	}
+	if n.ciHandler == nil {
+		return
+	}
+	a := Arrival{Pkt: pkt, At: n.Sim.Now()}
+	switch n.cfg.Mode {
+	case ModeNTI:
+		a.RxStamp, a.RxAlphaM, a.RxAlphaP, a.StampOK = hwStamp, hwAM, hwAP, hwOK
+	case ModeISR:
+		a.RxStamp, a.RxAlphaM, a.RxAlphaP, a.StampOK = isrStamp, isrAM, isrAP, true
+	case ModeTask:
+		a.RxStamp = n.U.Now()
+		a.RxAlphaM, a.RxAlphaP = n.U.Alpha()
+		a.StampOK = true
+	}
+	n.ciDelivered++
+	n.ciHandler(a)
+}
+
+// respondRTT echoes a round-trip probe at ISR level: the response
+// carries the probe's hardware transmit stamp and this node's hardware
+// receive stamp of the probe; the response's own transmit stamp is again
+// inserted by the NTI in flight.
+func (n *Node) respondRTT(req csp.Packet, rxStamp timefmt.Stamp) {
+	reqTx, ok := req.TxStamp()
+	if !ok {
+		return
+	}
+	resp := csp.Packet{
+		Kind:      csp.KindRTTResp,
+		Dest:      req.Node,
+		Round:     req.Round,
+		EchoReqTx: reqTx,
+		EchoReqRx: rxStamp,
+	}
+	n.SendCSP(resp, n.stationOf(req.Node))
+}
+
+// SetDirectory overrides the node-id → medium-station mapping (the
+// default is identity, matching the cluster builder's attach order).
+func (n *Node) SetDirectory(fn func(uint16) int) { n.stationOf = fn }

@@ -1,0 +1,198 @@
+// Package metrics provides the measurement machinery of the evaluation
+// harness: precision/accuracy sampling via UTCSU snapshots (the SNU's
+// purpose, paper §3.3), ε estimation, and summary statistics formatted
+// like the experiment tables in EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series accumulates scalar samples.
+type Series struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.vals) }
+
+// Min returns the smallest sample (0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the largest sample (0 when empty).
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.vals {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Range returns Max-Min: the spread, which for stamp-gap series is ε.
+func (s *Series) Range() float64 { return s.Max() - s.Min() }
+
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	i := int(p*float64(n-1) + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return s.vals[i]
+}
+
+// Summary is a one-line description of the series in µs.
+func (s *Series) Summary() string {
+	return fmt.Sprintf("n=%d min=%.3fµs mean=%.3fµs p99=%.3fµs max=%.3fµs range=%.3fµs",
+		s.N(), s.Min()*1e6, s.Mean()*1e6, s.Percentile(0.99)*1e6, s.Max()*1e6, s.Range()*1e6)
+}
+
+// ClusterSample is one simultaneous observation of every node's clock,
+// taken through the SNU snapshot path.
+type ClusterSample struct {
+	TrueTime float64
+	// Offsets[i] = C_i(t) − t in seconds.
+	Offsets []float64
+	// Precision is max_{p,q} |C_p − C_q|.
+	Precision float64
+	// MaxAbsOffset is max_p |C_p − t| (the worst accuracy).
+	MaxAbsOffset float64
+	// Contained reports whether every node's accuracy interval contained
+	// real time (requirement (A) of paper §2).
+	Contained bool
+}
+
+// Snapshotter is anything that can report (clock−true, alpha bounds) —
+// satisfied by an adapter over utcsu.Snapshot in package cluster.
+type Snapshotter interface {
+	// OffsetAndBounds returns the clock's offset from true time and the
+	// real-time edges of its accuracy interval, all in seconds relative
+	// to true time (edges negative/positive around zero mean containment).
+	OffsetAndBounds() (offset, loEdge, hiEdge float64)
+}
+
+// Sample collects a simultaneous cluster observation.
+func Sample(trueTime float64, nodes []Snapshotter) ClusterSample {
+	cs := ClusterSample{TrueTime: trueTime, Contained: true}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, n := range nodes {
+		off, le, he := n.OffsetAndBounds()
+		cs.Offsets = append(cs.Offsets, off)
+		lo = math.Min(lo, off)
+		hi = math.Max(hi, off)
+		cs.MaxAbsOffset = math.Max(cs.MaxAbsOffset, math.Abs(off))
+		if le > 0 || he < 0 {
+			cs.Contained = false
+		}
+	}
+	if len(nodes) > 1 {
+		cs.Precision = hi - lo
+	}
+	return cs
+}
+
+// Table renders experiment tables with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Us formats seconds as microseconds with 3 decimals.
+func Us(s float64) string { return fmt.Sprintf("%.3f", s*1e6) }
+
+// Ms formats seconds as milliseconds with 3 decimals.
+func Ms(s float64) string { return fmt.Sprintf("%.3f", s*1e3) }

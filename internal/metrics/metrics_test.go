@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-3.875) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Range() != 8 {
+		t.Errorf("range = %v", s.Range())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(0.5) != 0 {
+		t.Error("empty series should return zeros")
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := s.Percentile(1); p != 100 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := s.Percentile(0.5); math.Abs(p-50) > 1.5 {
+		t.Errorf("p50 = %v", p)
+	}
+	// Adding after sorting must still work.
+	s.Add(1000)
+	if s.Percentile(1) != 1000 {
+		t.Error("percentile stale after Add")
+	}
+}
+
+func TestSeriesStddev(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if math.Abs(s.Stddev()-2) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev())
+	}
+}
+
+type fakeNode struct{ off, lo, hi float64 }
+
+func (f fakeNode) OffsetAndBounds() (float64, float64, float64) { return f.off, f.lo, f.hi }
+
+func TestSample(t *testing.T) {
+	nodes := []Snapshotter{
+		fakeNode{off: 1e-6, lo: -1e-6, hi: 3e-6},
+		fakeNode{off: -2e-6, lo: -4e-6, hi: 0},
+		fakeNode{off: 0.5e-6, lo: -0.5e-6, hi: 1.5e-6},
+	}
+	cs := Sample(10, nodes)
+	if cs.TrueTime != 10 {
+		t.Error("true time lost")
+	}
+	if math.Abs(cs.Precision-3e-6) > 1e-12 {
+		t.Errorf("precision = %v", cs.Precision)
+	}
+	if math.Abs(cs.MaxAbsOffset-2e-6) > 1e-12 {
+		t.Errorf("max offset = %v", cs.MaxAbsOffset)
+	}
+	if !cs.Contained {
+		t.Error("all intervals contain zero, should be contained")
+	}
+}
+
+func TestSampleDetectsViolation(t *testing.T) {
+	nodes := []Snapshotter{
+		fakeNode{off: 5e-6, lo: 1e-6, hi: 9e-6}, // interval excludes 0!
+	}
+	cs := Sample(1, nodes)
+	if cs.Contained {
+		t.Error("containment violation missed")
+	}
+	if cs.Precision != 0 {
+		t.Error("single node has no pairwise precision")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1.5")
+	tb.AddRow("longer-name", "2")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "longer-name") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Us(1.5e-6) != "1.500" {
+		t.Errorf("Us = %q", Us(1.5e-6))
+	}
+	if Ms(2.5e-3) != "2.500" {
+		t.Errorf("Ms = %q", Ms(2.5e-3))
+	}
+}
+
+// Property: Min <= Mean <= Max and Percentile is monotone.
+func TestQuickSeriesInvariants(t *testing.T) {
+	f := func(raw []int32) bool {
+		var s Series
+		for _, v := range raw {
+			s.Add(float64(v) * 1e-6)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		if s.Min() > s.Mean() || s.Mean() > s.Max() {
+			return false
+		}
+		return s.Percentile(0.25) <= s.Percentile(0.75)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package network models the communications substrates of the paper.
+//
+// The NTI targets class (II) systems (paper §1): nodes within a few
+// hundred metres on a packet-oriented LAN with almost deterministic
+// propagation delays but considerable medium-access uncertainty. Medium
+// models a shared 10 Mb/s broadcast bus of that kind, including
+// background load, FIFO arbitration with jitter, per-pair propagation
+// delays and CRC errors.
+//
+// WANPath models a class (III) long-haul path with heavy-tailed queueing
+// delays at intermediate gateways, used by the NTP-style baseline of
+// experiment E7.
+package network
+
+import (
+	"fmt"
+
+	"ntisim/internal/sim"
+)
+
+// Frame is one link-layer frame in flight.
+type Frame struct {
+	Src     int    // transmitting station id
+	Dst     int    // receiving station id, Broadcast for all
+	Payload []byte // link SDU (the CSP wire format or test data)
+	Corrupt bool   // set on delivery when the CRC check failed
+
+	// Timing trace, filled in by the medium (simulation metadata; real
+	// hardware has no access to these).
+	RequestedAt float64 // when the sender asked for the medium
+	AcquiredAt  float64 // when serialization began
+	DeliveredAt float64 // when the last bit arrived at the receiver
+}
+
+// Broadcast addresses every attached station.
+const Broadcast = -1
+
+// Station receives frames from a medium.
+type Station interface {
+	// FrameArrived is invoked once per delivered frame, after the last
+	// bit has been received. Corrupted frames are delivered with
+	// f.Corrupt set: the physical interface still saw the bits (and the
+	// NTI's decode logic may already have triggered a timestamp — paper
+	// footnote 4), the controller discards them afterwards.
+	FrameArrived(f Frame)
+}
+
+// MediumConfig parameterizes a shared broadcast bus.
+type MediumConfig struct {
+	BitRateBps   float64 // default 10 Mb/s
+	PreambleBits int     // bits on the wire before the payload; default 64
+	InterframeS  float64 // minimum gap between frames; default 9.6 µs
+	// PropDelayS is the one-way propagation delay between any two
+	// stations (class II: essentially constant). Default 500 ns (~100 m).
+	PropDelayS float64
+	// AccessJitterS bounds the uniformly distributed extra arbitration
+	// delay a station experiences when acquiring a busy medium.
+	AccessJitterS float64
+	// CRCErrorProb is the per-delivery probability of a corrupted frame.
+	CRCErrorProb float64
+}
+
+// DefaultLAN returns the 10 Mb/s shared-Ethernet-like configuration used
+// by the paper's prototype (Intel 82596CA on 10 Mb/s Ethernet).
+func DefaultLAN() MediumConfig {
+	return MediumConfig{
+		BitRateBps:    10e6,
+		PreambleBits:  64,
+		InterframeS:   9.6e-6,
+		PropDelayS:    500e-9,
+		AccessJitterS: 20e-6,
+	}
+}
+
+type pendingTx struct {
+	frame      Frame
+	onAcquired func(at float64)
+}
+
+// SetPartitioned severs the medium: while partitioned, frames are still
+// transmitted (the sender's COMCO behaves normally, triggers included)
+// but reach no station — a cable fault or switch outage. Queued and
+// in-flight traffic is unaffected retroactively.
+func (m *Medium) SetPartitioned(down bool) { m.partitioned = down }
+
+// Medium is a shared broadcast bus with FIFO arbitration.
+type Medium struct {
+	s           *sim.Simulator
+	cfg         MediumConfig
+	rng         *sim.RNG
+	stations    []Station
+	queue       []pendingTx
+	busy        bool
+	partitioned bool
+	sent        uint64
+	dropped     uint64
+	bgStop      func()
+}
+
+// NewMedium attaches a broadcast bus to the simulator.
+func NewMedium(s *sim.Simulator, cfg MediumConfig) *Medium {
+	if cfg.BitRateBps <= 0 {
+		cfg.BitRateBps = 10e6
+	}
+	if cfg.PreambleBits <= 0 {
+		cfg.PreambleBits = 64
+	}
+	if cfg.InterframeS <= 0 {
+		cfg.InterframeS = 9.6e-6
+	}
+	if cfg.PropDelayS < 0 {
+		panic("network: negative propagation delay")
+	}
+	return &Medium{s: s, cfg: cfg, rng: s.RNG("medium")}
+}
+
+// Attach registers a station and returns its id.
+func (m *Medium) Attach(st Station) int {
+	m.stations = append(m.stations, st)
+	return len(m.stations) - 1
+}
+
+// Stations returns the number of attached stations.
+func (m *Medium) Stations() int { return len(m.stations) }
+
+// Bitrate returns the configured bit rate in bits per second.
+func (m *Medium) Bitrate() float64 { return m.cfg.BitRateBps }
+
+// FrameDuration returns the serialization time of a frame with n payload
+// bytes.
+func (m *Medium) FrameDuration(n int) float64 {
+	return (float64(m.cfg.PreambleBits) + 8*float64(n)) / m.cfg.BitRateBps
+}
+
+// Send queues a frame for transmission. onAcquired, if non-nil, fires at
+// the moment serialization begins (the sender's COMCO starts pulling the
+// frame from memory around then — package comco builds on this hook).
+func (m *Medium) Send(f Frame, onAcquired func(at float64)) {
+	f.RequestedAt = m.s.Now()
+	m.queue = append(m.queue, pendingTx{frame: f, onAcquired: onAcquired})
+	if !m.busy {
+		m.startNext()
+	}
+}
+
+func (m *Medium) startNext() {
+	if len(m.queue) == 0 {
+		m.busy = false
+		return
+	}
+	m.busy = true
+	tx := m.queue[0]
+	m.queue = m.queue[1:]
+	// Medium-access uncertainty: arbitration adds bounded random delay
+	// when there was contention; an idle medium is acquired immediately
+	// after the interframe gap.
+	delay := m.cfg.InterframeS
+	if m.cfg.AccessJitterS > 0 && tx.frame.RequestedAt < m.s.Now() {
+		delay += m.rng.Uniform(0, m.cfg.AccessJitterS)
+	}
+	m.s.After(delay, func() { m.transmit(tx) })
+}
+
+func (m *Medium) transmit(tx pendingTx) {
+	start := m.s.Now()
+	if tx.onAcquired != nil {
+		tx.onAcquired(start)
+	}
+	f := tx.frame
+	f.AcquiredAt = start
+	dur := m.FrameDuration(len(f.Payload))
+	end := start + dur
+	if m.partitioned {
+		m.sent++
+		m.s.At(end, m.startNext)
+		return
+	}
+	// Deliver to every other station at frame end + propagation.
+	for id, st := range m.stations {
+		if id == f.Src {
+			continue
+		}
+		if f.Dst != Broadcast && f.Dst != id {
+			continue
+		}
+		df := f
+		df.DeliveredAt = end + m.cfg.PropDelayS
+		df.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)
+		if df.Corrupt {
+			m.dropped++
+		}
+		st := st
+		m.s.At(df.DeliveredAt, func() { st.FrameArrived(df) })
+	}
+	m.sent++
+	m.s.At(end, m.startNext)
+}
+
+// Stats returns frames transmitted and deliveries corrupted.
+func (m *Medium) Stats() (sent, corrupted uint64) { return m.sent, m.dropped }
+
+// StartBackgroundLoad injects competing traffic: frames of meanBytes mean
+// size (exponential, clamped to [64, 1500]) at a rate that loads the
+// medium to approximately `utilization` (0..1). The frames come from a
+// virtual station and are delivered to nobody; they only occupy the bus,
+// which is all that matters for medium-access uncertainty.
+func (m *Medium) StartBackgroundLoad(utilization float64, meanBytes int) {
+	if utilization <= 0 {
+		return
+	}
+	if utilization >= 0.95 {
+		panic(fmt.Sprintf("network: background utilization %v too high", utilization))
+	}
+	if meanBytes <= 0 {
+		meanBytes = 400
+	}
+	rng := m.s.RNG("bgload")
+	meanDur := m.FrameDuration(meanBytes)
+	meanGap := meanDur / utilization
+	var schedule func()
+	stopped := false
+	schedule = func() {
+		if stopped {
+			return
+		}
+		gap := rng.Exponential(meanGap)
+		m.s.After(gap, func() {
+			if stopped {
+				return
+			}
+			n := int(rng.Exponential(float64(meanBytes)))
+			if n < 64 {
+				n = 64
+			}
+			if n > 1500 {
+				n = 1500
+			}
+			m.Send(Frame{Src: -2, Dst: -3, Payload: make([]byte, n)}, nil)
+			schedule()
+		})
+	}
+	schedule()
+	m.bgStop = func() { stopped = true }
+}
+
+// StopBackgroundLoad halts the generator.
+func (m *Medium) StopBackgroundLoad() {
+	if m.bgStop != nil {
+		m.bgStop()
+		m.bgStop = nil
+	}
+}

@@ -1,0 +1,298 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"ntisim/internal/sim"
+)
+
+// collector records delivered frames.
+type collector struct {
+	frames []Frame
+}
+
+func (c *collector) FrameArrived(f Frame) { c.frames = append(c.frames, f) }
+
+func TestBroadcastDelivery(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s, DefaultLAN())
+	var cs [4]collector
+	var ids [4]int
+	for i := range cs {
+		ids[i] = m.Attach(&cs[i])
+	}
+	m.Send(Frame{Src: ids[0], Dst: Broadcast, Payload: make([]byte, 100)}, nil)
+	s.Run()
+	if len(cs[0].frames) != 0 {
+		t.Error("sender received its own frame")
+	}
+	for i := 1; i < 4; i++ {
+		if len(cs[i].frames) != 1 {
+			t.Fatalf("station %d got %d frames", i, len(cs[i].frames))
+		}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s, DefaultLAN())
+	var cs [3]collector
+	for i := range cs {
+		m.Attach(&cs[i])
+	}
+	m.Send(Frame{Src: 0, Dst: 2, Payload: make([]byte, 64)}, nil)
+	s.Run()
+	if len(cs[1].frames) != 0 || len(cs[2].frames) != 1 {
+		t.Errorf("unicast delivery wrong: %d/%d", len(cs[1].frames), len(cs[2].frames))
+	}
+}
+
+func TestFrameTiming(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultLAN()
+	cfg.AccessJitterS = 0
+	m := NewMedium(s, cfg)
+	var c collector
+	m.Attach(&collector{}) // station 0: sender
+	m.Attach(&c)
+	var acquired float64
+	m.Send(Frame{Src: 0, Dst: Broadcast, Payload: make([]byte, 125)}, func(at float64) { acquired = at })
+	s.Run()
+	// Idle medium: acquisition after the interframe gap only.
+	if math.Abs(acquired-cfg.InterframeS) > 1e-12 {
+		t.Errorf("acquired at %v, want %v", acquired, cfg.InterframeS)
+	}
+	f := c.frames[0]
+	wantDur := (64 + 8*125) / 10e6
+	if math.Abs(f.DeliveredAt-(acquired+wantDur+cfg.PropDelayS)) > 1e-12 {
+		t.Errorf("delivered at %v", f.DeliveredAt)
+	}
+	if f.AcquiredAt != acquired {
+		t.Error("AcquiredAt trace wrong")
+	}
+}
+
+func TestMediumSerializesFrames(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultLAN()
+	m := NewMedium(s, cfg)
+	var c collector
+	m.Attach(&collector{})
+	m.Attach(&c)
+	// Two frames queued back to back must not overlap on the wire.
+	var starts []float64
+	for i := 0; i < 2; i++ {
+		m.Send(Frame{Src: 0, Dst: Broadcast, Payload: make([]byte, 1000)}, func(at float64) { starts = append(starts, at) })
+	}
+	s.Run()
+	if len(starts) != 2 {
+		t.Fatalf("got %d acquisitions", len(starts))
+	}
+	dur := m.FrameDuration(1000)
+	if starts[1] < starts[0]+dur {
+		t.Errorf("second frame started at %v, before first ended at %v", starts[1], starts[0]+dur)
+	}
+}
+
+func TestAccessUncertaintyUnderLoad(t *testing.T) {
+	// The class-II property: medium access time varies under load.
+	s := sim.New(2)
+	cfg := DefaultLAN()
+	m := NewMedium(s, cfg)
+	var c collector
+	m.Attach(&collector{})
+	m.Attach(&c)
+	m.StartBackgroundLoad(0.5, 400)
+	var waits []float64
+	send := func() {
+		req := s.Now()
+		m.Send(Frame{Src: 0, Dst: Broadcast, Payload: make([]byte, 100)}, func(at float64) {
+			waits = append(waits, at-req)
+		})
+	}
+	for i := 0; i < 200; i++ {
+		s.After(float64(i)*0.01, send)
+	}
+	s.RunUntil(3)
+	m.StopBackgroundLoad()
+	if len(waits) < 150 {
+		t.Fatalf("only %d sends completed", len(waits))
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, w := range waits {
+		lo = math.Min(lo, w)
+		hi = math.Max(hi, w)
+	}
+	if hi-lo < 50e-6 {
+		t.Errorf("access uncertainty %v too small under 50%% load", hi-lo)
+	}
+}
+
+func TestCRCErrors(t *testing.T) {
+	s := sim.New(3)
+	cfg := DefaultLAN()
+	cfg.CRCErrorProb = 0.3
+	m := NewMedium(s, cfg)
+	var c collector
+	m.Attach(&collector{})
+	m.Attach(&c)
+	for i := 0; i < 500; i++ {
+		s.After(float64(i)*0.001, func() {
+			m.Send(Frame{Src: 0, Dst: Broadcast, Payload: make([]byte, 64)}, nil)
+		})
+	}
+	s.Run()
+	bad := 0
+	for _, f := range c.frames {
+		if f.Corrupt {
+			bad++
+		}
+	}
+	ratio := float64(bad) / float64(len(c.frames))
+	if ratio < 0.2 || ratio > 0.4 {
+		t.Errorf("corrupt ratio = %v, want ~0.3", ratio)
+	}
+	if _, corrupted := m.Stats(); corrupted == 0 {
+		t.Error("stats did not count corruption")
+	}
+}
+
+func TestBackgroundLoadUtilization(t *testing.T) {
+	s := sim.New(4)
+	m := NewMedium(s, DefaultLAN())
+	m.Attach(&collector{})
+	m.StartBackgroundLoad(0.3, 400)
+	s.RunUntil(10)
+	sent, _ := m.Stats()
+	// Expected frames: 10 s * 0.3 / frameDuration(400B).
+	want := 10 * 0.3 / m.FrameDuration(400)
+	if float64(sent) < want*0.6 || float64(sent) > want*1.6 {
+		t.Errorf("background frames = %d, want ≈%v", sent, want)
+	}
+}
+
+func TestBackgroundLoadTooHighPanics(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s, DefaultLAN())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic at 95% utilization")
+		}
+	}()
+	m.StartBackgroundLoad(0.99, 400)
+}
+
+func TestDeterministicMedium(t *testing.T) {
+	run := func() []float64 {
+		s := sim.New(77)
+		m := NewMedium(s, DefaultLAN())
+		var c collector
+		m.Attach(&collector{})
+		m.Attach(&c)
+		m.StartBackgroundLoad(0.4, 300)
+		for i := 0; i < 20; i++ {
+			s.After(float64(i)*0.05, func() {
+				m.Send(Frame{Src: 0, Dst: Broadcast, Payload: make([]byte, 80)}, nil)
+			})
+		}
+		s.RunUntil(2)
+		var out []float64
+		for _, f := range c.frames {
+			out = append(out, f.DeliveredAt)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different frame counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWANDelayDistribution(t *testing.T) {
+	s := sim.New(5)
+	w := NewWANPath(s, DefaultWAN(), "p")
+	lo, hi, sum := math.Inf(1), 0.0, 0.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		d := w.SampleDelay(true)
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+		sum += d
+	}
+	if lo < w.MinDelay()-1e-9 {
+		t.Errorf("delay %v below floor %v", lo, w.MinDelay())
+	}
+	if hi < 10*lo {
+		t.Errorf("WAN delays not heavy-tailed: lo=%v hi=%v", lo, hi)
+	}
+	mean := sum / float64(n)
+	if mean < 5e-3 || mean > 300e-3 {
+		t.Errorf("mean delay %v implausible", mean)
+	}
+}
+
+func TestWANAsymmetry(t *testing.T) {
+	s := sim.New(6)
+	cfg := DefaultWAN()
+	cfg.Asymmetry = 3
+	w := NewWANPath(s, cfg, "p")
+	var fwd, rev float64
+	n := 3000
+	for i := 0; i < n; i++ {
+		fwd += w.SampleDelay(true)
+		rev += w.SampleDelay(false)
+	}
+	if fwd <= rev*1.3 {
+		t.Errorf("asymmetry not visible: fwd=%v rev=%v", fwd/float64(n), rev/float64(n))
+	}
+}
+
+func TestWANDeliverAndLoss(t *testing.T) {
+	s := sim.New(7)
+	cfg := DefaultWAN()
+	cfg.LossProb = 0.5
+	w := NewWANPath(s, cfg, "p")
+	got := 0
+	tried := 400
+	for i := 0; i < tried; i++ {
+		w.Deliver(true, func(sentAt, arrivedAt float64) {
+			if arrivedAt <= sentAt {
+				t.Error("non-causal delivery")
+			}
+			got++
+		})
+	}
+	s.Run()
+	delivered, lost := w.Stats()
+	if int(delivered) != got {
+		t.Errorf("stats delivered=%d, callbacks=%d", delivered, got)
+	}
+	if lost == 0 || got == 0 {
+		t.Errorf("loss model degenerate: delivered=%d lost=%d", delivered, lost)
+	}
+	if ratio := float64(lost) / float64(tried); math.Abs(ratio-0.5) > 0.1 {
+		t.Errorf("loss ratio %v, want ~0.5", ratio)
+	}
+}
+
+func BenchmarkMediumThroughput(b *testing.B) {
+	s := sim.New(1)
+	m := NewMedium(s, DefaultLAN())
+	var c collector
+	m.Attach(&collector{})
+	m.Attach(&c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(Frame{Src: 0, Dst: Broadcast, Payload: make([]byte, 100)}, nil)
+		if i%1000 == 999 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,177 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// Events carry a firing time in simulated "true" seconds (float64; see
+// DESIGN.md §4 for the precision argument) and fire in time order, with
+// insertion order breaking ties so runs are reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The Cancel method of the returned handle
+// prevents a pending event from firing.
+type Event struct {
+	at    float64
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 once fired or cancelled
+	owner *Simulator
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil && e.index >= 0 && e.owner != nil {
+		heap.Remove(&e.owner.queue, e.index)
+		e.index = -1
+	}
+}
+
+// Pending reports whether the event is still scheduled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Simulator owns the event queue and the current simulated time.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now   float64
+	seq   uint64
+	queue eventQueue
+	root  *RNG
+	limit float64 // horizon; 0 = none
+	fired uint64
+}
+
+// New creates a Simulator whose stochastic components derive their RNG
+// streams from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{root: NewRNG(seed)}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// RNG derives a named deterministic random stream for one component.
+func (s *Simulator) RNG(label string) *RNG { return s.root.Derive(label) }
+
+// EventCount returns the number of events fired so far (for diagnostics).
+func (s *Simulator) EventCount() uint64 { return s.fired }
+
+// At schedules fn to run at absolute time t (which must not be in the
+// past) and returns a cancellable handle.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn every period seconds starting at start, until the
+// returned handle is cancelled. fn sees the simulator clock already
+// advanced to its firing time.
+func (s *Simulator) Every(start, period float64, fn func()) *Ticker {
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.ev = s.At(start, t.fire)
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim    *Simulator
+	period float64
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+func (t *Ticker) fire() {
+	if t.done {
+		return
+	}
+	t.fn()
+	if !t.done { // fn may have stopped us
+		t.ev = t.sim.After(t.period, t.fire)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.ev.Cancel()
+}
+
+// Run processes events until the queue is empty or the horizon set by
+// RunUntil is reached. It returns the time of the last fired event.
+func (s *Simulator) Run() float64 {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		e.index = -1
+		if s.limit > 0 && e.at > s.limit {
+			s.now = s.limit
+			return s.now
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil processes events with firing times <= horizon, then stops with
+// the clock at horizon. Events beyond the horizon remain queued.
+func (s *Simulator) RunUntil(horizon float64) float64 {
+	s.limit = horizon
+	defer func() { s.limit = 0 }()
+	for len(s.queue) > 0 && s.queue[0].at <= horizon {
+		e := heap.Pop(&s.queue).(*Event)
+		e.index = -1
+		s.now = e.at
+		s.fired++
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

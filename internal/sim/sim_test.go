@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("tied events fired out of insertion order: %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(1, func() { fired = true })
+	if !e.Pending() {
+		t.Error("event should be pending")
+	}
+	e.Cancel()
+	if e.Pending() {
+		t.Error("cancelled event still pending")
+	}
+	e.Cancel() // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New(1)
+	var got []int
+	events := make([]*Event, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		events[i] = s.At(float64(i), func() { got = append(got, i) })
+	}
+	for i := 1; i < 20; i += 2 {
+		events[i].Cancel()
+	}
+	s.Run()
+	for _, v := range got {
+		if v%2 != 0 {
+			t.Errorf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 10 {
+		t.Errorf("fired %d events, want 10", len(got))
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New(1)
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(0.5, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past should panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.RunUntil(3)
+	if len(got) != 3 {
+		t.Errorf("fired %v, want events at 1..3", got)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v after RunUntil(3)", s.Now())
+	}
+	s.Run() // rest still queued
+	if len(got) != 5 {
+		t.Errorf("after Run fired %v", got)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	s := New(1)
+	s.RunUntil(10)
+	if s.Now() != 10 {
+		t.Errorf("Now = %v, want 10", s.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	count := 0
+	tk := s.Every(1, 2, func() {
+		count++
+		if count == 5 {
+			// Stop from within the callback.
+		}
+	})
+	s.At(9.5, func() { tk.Stop() })
+	s.Run()
+	if count != 5 { // fires at 1,3,5,7,9
+		t.Errorf("ticker fired %d times, want 5", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		s := New(42)
+		r := s.RNG("x")
+		var out []uint64
+		for i := 0; i < 5; i++ {
+			d := r.Float64() * 10
+			s.After(d, func() { out = append(out, r.Uint64()) })
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Derive("alpha")
+	b := r.Derive("beta")
+	a2 := NewRNG(7).Derive("alpha")
+	if a.Uint64() != a2.Uint64() {
+		t.Error("Derive not deterministic")
+	}
+	if a.Uint64() == b.Uint64() {
+		t.Error("different labels should give different streams")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(3)
+	n := 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("normal stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestRNGExponentialMean(t *testing.T) {
+	r := NewRNG(9)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(3)
+	}
+	if mean := sum / float64(n); math.Abs(mean-3) > 0.1 {
+		t.Errorf("exponential mean = %v", mean)
+	}
+}
+
+func TestRNGTruncNormalBounds(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.TruncNormal(0, 10, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGParetoBounds(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Pareto(1.5, 0.001, 0.5)
+		if v < 0.001-1e-12 || v > 0.5+1e-12 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(8)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+// Property: all queued events with distinct times fire in sorted order.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New(1)
+		var fired []float64
+		for _, v := range raw {
+			at := float64(v)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	s := New(1)
+	r := s.RNG("bench")
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			s.After(r.Float64(), fn)
+		}
+	}
+	if b.N > 0 {
+		s.After(0, fn)
+	}
+	s.Run()
+}

@@ -1,0 +1,205 @@
+package utcsu
+
+import (
+	"fmt"
+
+	"ntisim/internal/fixpt"
+	"ntisim/internal/timefmt"
+)
+
+// Register file — the chip's bus interface (BIU).
+//
+// The UTCSU is programmed through memory-mapped 32-bit registers; the
+// NTI decodes a 512-byte window for them right after its SRAM (paper
+// Fig. 6). This file defines the register map and a Read32/Write32 pair
+// with hardware semantics — latched timestamp pairs, write-1-to-trigger
+// command bits, saturating accuracy loads — so driver-style code can be
+// written against addresses instead of Go methods. The Go methods on
+// UTCSU remain the primary API; the register file delegates to them.
+//
+// Register map (byte offsets within the 512-byte window):
+//
+//	0x000 TIMESTAMP   RO  seconds<7:0> | fraction<23:0> (latches MACROSTAMP)
+//	0x004 MACROSTAMP  RO  seconds<31:8> | checksum<7:0> (as latched)
+//	0x008 ALPHA       RO  α⁻<15:0> << 16 | α⁺<15:0>
+//	0x00C STEP        WO  rate adjustment, signed ppb
+//	0x010 AMORTDELTA  WO  state correction in granules (signed); writing
+//	                      AMORTGO starts continuous amortization
+//	0x014 AMORTGO     WO  bit0 = start amortization with AMORTDELTA
+//	0x018 LOADTIME_HI WO  clock load value, seconds
+//	0x01C LOADTIME_LO WO  clock load value, fraction<23:0>; the write
+//	                      commits the load (StepTo)
+//	0x020 ALPHALOAD   WO  α⁻<15:0> << 16 | α⁺<15:0> (SetAlpha)
+//	0x024 DRIFTBOUND  WO  deterioration rate, ppb (both sides)
+//	0x028 INTENABLE   RW  bit0 INTN, bit1 INTT, bit2 INTA
+//	0x02C STATUS      RO  bit0 amortizing, bits8+ snapshot count<23:0>
+//	0x040+8i SSUTIME  RO  SSU i sample timestamp word   (i = 0..5)
+//	0x044+8i SSUALPHA RO  SSU i sample α⁻|α⁺
+//	0x080+8i GPUTIME  RO  GPU i sample timestamp word   (i = 0..2)
+//	0x084+8i GPUALPHA RO  GPU i sample α⁻|α⁺
+//	0x0A0+8i APUTIME  RO  APU i sample timestamp word   (i = 0..8)
+//	0x0A4+8i APUALPHA RO  APU i sample α⁻|α⁺
+const (
+	RegTimestamp  = 0x000
+	RegMacrostamp = 0x004
+	RegAlpha      = 0x008
+	RegStep       = 0x00C
+	RegAmortDelta = 0x010
+	RegAmortGo    = 0x014
+	RegLoadTimeHi = 0x018
+	RegLoadTimeLo = 0x01C
+	RegAlphaLoad  = 0x020
+	RegDriftBound = 0x024
+	RegIntEnable  = 0x028
+	RegStatus     = 0x02C
+	RegSSUBase    = 0x040
+	RegGPUBase    = 0x080
+	RegAPUBase    = 0x0A0
+	RegWindowSize = 0x200
+)
+
+// regFile holds the write-staging state of the register interface.
+type regFile struct {
+	latchedMacro uint32
+	loadHi       uint32
+	amortDelta   int32
+}
+
+// ReadReg32 performs a bus read of one UTCSU register.
+//
+// Reading TIMESTAMP atomically latches the matching MACROSTAMP, exactly
+// like the hardware's two-word read protocol: software reads 0x000 then
+// 0x004 and is guaranteed a consistent 56-bit value even if the second
+// wrapped in between.
+func (u *UTCSU) ReadReg32(off uint32) uint32 {
+	switch off {
+	case RegTimestamp:
+		ts, ms := u.Now().Words()
+		u.regs.latchedMacro = ms
+		return ts
+	case RegMacrostamp:
+		return u.regs.latchedMacro
+	case RegAlpha:
+		am, ap := u.Alpha()
+		return uint32(am)<<16 | uint32(ap)
+	case RegIntEnable:
+		var v uint32
+		for i, l := range []IntLine{INTN, INTT, INTA} {
+			if u.IntEnabled(l) {
+				v |= 1 << i
+			}
+		}
+		return v
+	case RegStatus:
+		var v uint32
+		if on, _ := u.Amortizing(); on {
+			v |= 1
+		}
+		v |= uint32(u.snapshots&0xFFFFFF) << 8
+		return v
+	}
+	if idx, word, ok := sampleReg(off, RegSSUBase, NumSSU); ok {
+		return u.sampleWord(&u.ssu[idx], word)
+	}
+	if idx, word, ok := sampleReg(off, RegGPUBase, NumGPU); ok {
+		return u.sampleWord(&u.gpu[idx], word)
+	}
+	if idx, word, ok := sampleReg(off, RegAPUBase, NumAPU); ok {
+		return u.sampleWord(&u.apu[idx], word)
+	}
+	return 0
+}
+
+// WriteReg32 performs a bus write of one UTCSU register.
+func (u *UTCSU) WriteReg32(off uint32, v uint32) {
+	switch off {
+	case RegStep:
+		u.SetRatePPB(int64(int32(v)))
+	case RegAmortDelta:
+		u.regs.amortDelta = int32(v)
+	case RegAmortGo:
+		if v&1 != 0 {
+			u.Amortize(timefmt.Duration(u.regs.amortDelta), DefaultAmortPPM)
+		}
+	case RegLoadTimeHi:
+		u.regs.loadHi = v
+	case RegLoadTimeLo:
+		st := timefmt.StampFromTime(fixpt.FromSecFrac(int64(int32(u.regs.loadHi)), uint64(v&0xFFFFFF)<<40))
+		u.StepTo(st)
+	case RegAlphaLoad:
+		u.SetAlpha(timefmt.Duration(v>>16), timefmt.Duration(v&0xFFFF))
+	case RegDriftBound:
+		u.SetDriftBoundPPB(int64(v), int64(v))
+	case RegIntEnable:
+		for i, l := range []IntLine{INTN, INTT, INTA} {
+			u.EnableInt(l, v&(1<<i) != 0)
+		}
+	}
+}
+
+// sampleReg decodes a sample-unit register offset.
+func sampleReg(off, base uint32, n int) (idx int, word int, ok bool) {
+	if off < base || off >= base+uint32(8*n) {
+		return 0, 0, false
+	}
+	rel := off - base
+	return int(rel / 8), int(rel % 8 / 4), true
+}
+
+// sampleWord returns word 0 (timestamp) or 1 (alphas) of a unit's sample.
+func (u *UTCSU) sampleWord(su *SampleUnit, word int) uint32 {
+	st, am, ap, _ := su.Read()
+	if word == 0 {
+		ts, _ := st.Words()
+		return ts
+	}
+	return uint32(am)<<16 | uint32(ap)
+}
+
+// RegName returns a human-readable name for a register offset, for
+// trace tools.
+func RegName(off uint32) string {
+	switch off {
+	case RegTimestamp:
+		return "TIMESTAMP"
+	case RegMacrostamp:
+		return "MACROSTAMP"
+	case RegAlpha:
+		return "ALPHA"
+	case RegStep:
+		return "STEP"
+	case RegAmortDelta:
+		return "AMORTDELTA"
+	case RegAmortGo:
+		return "AMORTGO"
+	case RegLoadTimeHi:
+		return "LOADTIME_HI"
+	case RegLoadTimeLo:
+		return "LOADTIME_LO"
+	case RegAlphaLoad:
+		return "ALPHALOAD"
+	case RegDriftBound:
+		return "DRIFTBOUND"
+	case RegIntEnable:
+		return "INTENABLE"
+	case RegStatus:
+		return "STATUS"
+	}
+	if i, w, ok := sampleReg(off, RegSSUBase, NumSSU); ok {
+		return fmt.Sprintf("SSU%d.%s", i, wordName(w))
+	}
+	if i, w, ok := sampleReg(off, RegGPUBase, NumGPU); ok {
+		return fmt.Sprintf("GPU%d.%s", i, wordName(w))
+	}
+	if i, w, ok := sampleReg(off, RegAPUBase, NumAPU); ok {
+		return fmt.Sprintf("APU%d.%s", i, wordName(w))
+	}
+	return fmt.Sprintf("reg(0x%03X)", off)
+}
+
+func wordName(w int) string {
+	if w == 0 {
+		return "TIME"
+	}
+	return "ALPHA"
+}

@@ -1,0 +1,168 @@
+package utcsu
+
+import (
+	"math"
+	"testing"
+
+	"ntisim/internal/oscillator"
+	"ntisim/internal/timefmt"
+)
+
+func TestRegTimestampLatchesMacrostamp(t *testing.T) {
+	s, u := rig(t, 50, oscillator.Ideal(10e6))
+	s.RunUntil(300.7) // seconds<7:0> = 44, macro part nonzero
+	ts := u.ReadReg32(RegTimestamp)
+	// Advance across a 256 s wrap before reading the macrostamp: the
+	// latched value must still pair with the old timestamp word.
+	s.RunUntil(520)
+	ms := u.ReadReg32(RegMacrostamp)
+	got, ok := timefmt.FromWords(ts, ms)
+	if !ok {
+		t.Fatal("latched pair fails checksum")
+	}
+	if math.Abs(got.Seconds()-300.7) > 1e-5 {
+		t.Errorf("latched read = %v, want ~300.7", got)
+	}
+}
+
+func TestRegAlphaAndLoads(t *testing.T) {
+	s, u := rig(t, 51, oscillator.Ideal(10e6))
+	u.WriteReg32(RegAlphaLoad, 17<<16|23)
+	s.RunUntil(0.001)
+	v := u.ReadReg32(RegAlpha)
+	if v>>16 < 17 || v&0xFFFF < 23 {
+		t.Errorf("ALPHA = %08x", v)
+	}
+	// DRIFTBOUND makes both sides deteriorate.
+	u.WriteReg32(RegDriftBound, 2000)
+	s.RunUntil(1.001)
+	v2 := u.ReadReg32(RegAlpha)
+	if v2>>16 <= v>>16 {
+		t.Error("deterioration not visible after DRIFTBOUND write")
+	}
+}
+
+func TestRegStepAndRate(t *testing.T) {
+	s, u := rig(t, 52, oscillator.Ideal(10e6))
+	u.WriteReg32(RegStep, uint32(100_000)) // +100 ppm via the bus
+	s.RunUntil(10)
+	got := u.Now().Seconds()
+	if math.Abs(got-10*(1+100e-6)) > 1e-5 {
+		t.Errorf("clock after STEP write = %v", got)
+	}
+	// Negative rates through two's complement.
+	neg := int32(-100_000)
+	u.WriteReg32(RegStep, uint32(neg))
+	if u.RatePPB() != -100_000 {
+		t.Errorf("RatePPB = %d", u.RatePPB())
+	}
+}
+
+func TestRegClockLoad(t *testing.T) {
+	s, u := rig(t, 53, oscillator.Ideal(10e6))
+	s.RunUntil(1)
+	// Load 1000.5 s: seconds word then committing fraction word.
+	u.WriteReg32(RegLoadTimeHi, 1000)
+	u.WriteReg32(RegLoadTimeLo, 1<<23) // 0.5 in 24-bit fraction
+	s.RunUntil(1.001)
+	if got := u.Now().Seconds(); math.Abs(got-1000.501) > 1e-5 {
+		t.Errorf("after LOADTIME = %v", got)
+	}
+}
+
+func TestRegAmortization(t *testing.T) {
+	s, u := rig(t, 54, oscillator.Ideal(10e6))
+	s.RunUntil(1)
+	delta := timefmt.DurationFromSeconds(50e-6)
+	u.WriteReg32(RegAmortDelta, uint32(int32(delta)))
+	if on, _ := u.Amortizing(); on {
+		t.Fatal("amortization must not start before AMORTGO")
+	}
+	u.WriteReg32(RegAmortGo, 1)
+	if on, _ := u.Amortizing(); !on {
+		t.Fatal("AMORTGO did not start amortization")
+	}
+	if st := u.ReadReg32(RegStatus); st&1 == 0 {
+		t.Error("STATUS bit0 should show amortizing")
+	}
+	s.RunUntil(1.2)
+	if got := u.Now().Seconds(); math.Abs(got-(1.2+50e-6)) > 2e-6 {
+		t.Errorf("after register-driven amortization: %v", got)
+	}
+}
+
+func TestRegIntEnable(t *testing.T) {
+	_, u := rig(t, 55, oscillator.Ideal(10e6))
+	u.WriteReg32(RegIntEnable, 0b101) // INTN + INTA
+	if !u.IntEnabled(INTN) || u.IntEnabled(INTT) || !u.IntEnabled(INTA) {
+		t.Error("INTENABLE decode wrong")
+	}
+	if u.ReadReg32(RegIntEnable) != 0b101 {
+		t.Errorf("INTENABLE readback = %03b", u.ReadReg32(RegIntEnable))
+	}
+}
+
+func TestRegSampleUnits(t *testing.T) {
+	s, u := rig(t, 56, oscillator.Ideal(10e6))
+	s.RunUntil(2.5)
+	u.SSU(3).Trigger(true)
+	u.GPU(1).Trigger(true)
+	u.APU(8).Trigger(true)
+	for _, tc := range []struct {
+		off  uint32
+		name string
+	}{
+		{RegSSUBase + 8*3, "SSU3"},
+		{RegGPUBase + 8*1, "GPU1"},
+		{RegAPUBase + 8*8, "APU8"},
+	} {
+		ts := u.ReadReg32(tc.off)
+		if ts == 0 {
+			t.Errorf("%s timestamp register empty", tc.name)
+		}
+		_ = u.ReadReg32(tc.off + 4) // alpha word must decode without panic
+	}
+	// An untouched unit reads zero.
+	if u.ReadReg32(RegSSUBase+8*5) != 0 {
+		t.Error("untriggered SSU5 nonzero")
+	}
+}
+
+func TestRegStatusSnapshotCount(t *testing.T) {
+	s, u := rig(t, 57, oscillator.Ideal(10e6))
+	s.RunUntil(1)
+	u.Snapshot()
+	u.Snapshot()
+	if got := u.ReadReg32(RegStatus) >> 8; got != 2 {
+		t.Errorf("snapshot count via STATUS = %d", got)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	for _, tc := range []struct {
+		off  uint32
+		want string
+	}{
+		{RegTimestamp, "TIMESTAMP"},
+		{RegStep, "STEP"},
+		{RegSSUBase, "SSU0.TIME"},
+		{RegSSUBase + 4, "SSU0.ALPHA"},
+		{RegGPUBase + 12, "GPU1.ALPHA"},
+		{RegAPUBase + 16, "APU2.TIME"},
+	} {
+		if got := RegName(tc.off); got != tc.want {
+			t.Errorf("RegName(0x%03X) = %q, want %q", tc.off, got, tc.want)
+		}
+	}
+	if RegName(0x1F0) == "" {
+		t.Error("unknown registers should still format")
+	}
+}
+
+func TestRegUnknownReadsZero(t *testing.T) {
+	_, u := rig(t, 58, oscillator.Ideal(10e6))
+	if u.ReadReg32(0x1FC) != 0 {
+		t.Error("unmapped register should read zero")
+	}
+	u.WriteReg32(0x1FC, 0xFFFF) // unmapped write is a no-op, not a crash
+}

@@ -1,0 +1,231 @@
+// Package utcsu is a register-accurate behavioural model of the
+// Universal Time Coordinated Synchronization Unit ASIC (paper §3.3).
+//
+// The real chip (0.7 µm CMOS, ~65k gates) contains:
+//
+//   - LTU: an adder-based local clock in 56-bit NTP format, fine-grained
+//     rate adjustable in ~10 ns/s steps, with state adjustment via
+//     continuous amortization and hardware leap-second support;
+//   - ACU: two more adder-based "clocks" holding the accuracies α⁻/α⁺,
+//     automatically deteriorated to account for the maximum oscillator
+//     drift, saturating instead of wrapping;
+//   - SSU ×6, GPU ×3, APU ×9: time/accuracy-stamping units for network
+//     triggers, GPS 1pps inputs and application events;
+//   - several 48-bit duty timers raising interrupts when local time
+//     reaches a programmed value;
+//   - an interrupt unit mapping all sources onto the INTN/INTT/INTA pins;
+//   - SNU/BTU: snapshot and built-in-test support.
+//
+// The model keeps the clock as piecewise-affine functions of the
+// oscillator tick index, so reading it is O(1) and its granularity
+// (2⁻²⁴ s) and rate-adjustment step (2⁻⁵¹ s per tick) are bit-exact.
+package utcsu
+
+import (
+	"fmt"
+
+	"ntisim/internal/fixpt"
+	"ntisim/internal/oscillator"
+	"ntisim/internal/sim"
+	"ntisim/internal/timefmt"
+)
+
+// Interrupt lines of the UTCSU (paper Fig. 5).
+type IntLine int
+
+const (
+	INTN IntLine = iota // network-related (SSU sampling)
+	INTT                // timer-related (duty timers, amortization end)
+	INTA                // application-related (APU, GPU)
+	numIntLines
+)
+
+func (l IntLine) String() string {
+	switch l {
+	case INTN:
+		return "INTN"
+	case INTT:
+		return "INTT"
+	case INTA:
+		return "INTA"
+	}
+	return fmt.Sprintf("IntLine(%d)", int(l))
+}
+
+// Counts of the timestamping units (paper §3.3).
+const (
+	NumSSU = 6 // network send/receive stamp units
+	NumGPU = 3 // GPS 1pps stamp units
+	NumAPU = 9 // application stamp units
+)
+
+// Config configures a UTCSU instance.
+type Config struct {
+	// Osc paces the chip. The UTCSU accepts 1..20 MHz (paper §3.3).
+	Osc *oscillator.Oscillator
+	// TwoStageSync selects the two-stage input synchronizer (reliable
+	// pin high): recovery time 2/fosc instead of 1/fosc.
+	TwoStageSync bool
+}
+
+// UTCSU is one chip instance. It is not safe for concurrent use; the
+// simulation is single-threaded by construction.
+type UTCSU struct {
+	sim *sim.Simulator
+	osc *oscillator.Oscillator
+	cfg Config
+
+	ltu ltu
+	acu acu
+
+	ssu [NumSSU]SampleUnit
+	gpu [NumGPU]SampleUnit
+	apu [NumAPU]SampleUnit
+
+	timers    []*DutyTimer
+	intr      interruptUnit
+	regs      regFile
+	snapshots uint64
+}
+
+// New builds a UTCSU paced by cfg.Osc, with the clock and accuracies at
+// zero and the nominal-rate augend loaded.
+func New(s *sim.Simulator, cfg Config) *UTCSU {
+	if cfg.Osc == nil {
+		panic("utcsu: nil oscillator")
+	}
+	f := cfg.Osc.NominalHz()
+	if f < 1e6 || f > 20e6 {
+		panic(fmt.Sprintf("utcsu: oscillator frequency %v Hz outside 1..20 MHz", f))
+	}
+	u := &UTCSU{sim: s, osc: cfg.Osc, cfg: cfg}
+	u.ltu.init(u)
+	u.acu.init(u)
+	for i := range u.ssu {
+		u.ssu[i].owner, u.ssu[i].line = u, INTN
+	}
+	for i := range u.gpu {
+		u.gpu[i].owner, u.gpu[i].line = u, INTA
+	}
+	for i := range u.apu {
+		u.apu[i].owner, u.apu[i].line = u, INTA
+	}
+	return u
+}
+
+// Osc returns the pacing oscillator.
+func (u *UTCSU) Osc() *oscillator.Oscillator { return u.osc }
+
+// tick returns the current oscillator tick index.
+func (u *UTCSU) tick() uint64 { return u.osc.TickIndex(u.sim.Now()) }
+
+// syncDelayTicks is the synchronizer depth for asynchronous inputs.
+func (u *UTCSU) syncDelayTicks() uint64 {
+	if u.cfg.TwoStageSync {
+		return 2
+	}
+	return 1
+}
+
+// Now returns the current clock reading quantized to the 2⁻²⁴ s register
+// granularity, exactly what software sees in the timestamp registers.
+func (u *UTCSU) Now() timefmt.Stamp {
+	return timefmt.StampFromTime(u.ltu.valueAt(u.tick()))
+}
+
+// NowFine returns the full-resolution internal clock value (only the
+// simulation and the NTPA bus can see this; software cannot).
+func (u *UTCSU) NowFine() fixpt.Time { return u.ltu.valueAt(u.tick()) }
+
+// ReadWords performs the atomic two-word register read of the clock:
+// timestamp and macrostamp including the BTU checksum.
+func (u *UTCSU) ReadWords() (timestamp, macrostamp uint32) {
+	return u.Now().Words()
+}
+
+// SSU, GPU and APU accessors.
+
+// SSU returns network timestamp unit i (0..5).
+func (u *UTCSU) SSU(i int) *SampleUnit { return &u.ssu[i] }
+
+// GPU returns GPS timestamp unit i (0..2).
+func (u *UTCSU) GPU(i int) *SampleUnit { return &u.gpu[i] }
+
+// APU returns application timestamp unit i (0..8).
+func (u *UTCSU) APU(i int) *SampleUnit { return &u.apu[i] }
+
+// Snapshot atomically captures clock, accuracies and the simulated true
+// time — the model of the SNU's HWSNAP feature, which the paper provides
+// precisely "to facilitate an experimental evaluation of precision/
+// accuracy". The true-time field is the simulation's ground truth.
+type Snapshot struct {
+	TrueTime   float64
+	Clock      timefmt.Stamp
+	AlphaMinus timefmt.Alpha
+	AlphaPlus  timefmt.Alpha
+}
+
+// Snapshot triggers the SNU.
+func (u *UTCSU) Snapshot() Snapshot {
+	u.snapshots++
+	n := u.tick()
+	am, ap := u.acu.at(n)
+	return Snapshot{
+		TrueTime:   u.sim.Now(),
+		Clock:      timefmt.StampFromTime(u.ltu.valueAt(n)),
+		AlphaMinus: am,
+		AlphaPlus:  ap,
+	}
+}
+
+// SnapshotCount reports how many snapshots were taken (diagnostics).
+func (u *UTCSU) SnapshotCount() uint64 { return u.snapshots }
+
+// Interval returns the current accuracy interval A(t) = [C−α⁻, C+α⁺]
+// as maintained by the LTU and ACU together.
+func (u *UTCSU) Interval() intervalReading {
+	n := u.tick()
+	am, ap := u.acu.at(n)
+	return intervalReading{
+		Ref:   timefmt.StampFromTime(u.ltu.valueAt(n)),
+		Minus: am.Duration(),
+		Plus:  ap.Duration(),
+	}
+}
+
+// intervalReading mirrors interval.Interval without importing it, keeping
+// the hardware model free of algorithm-layer dependencies.
+type intervalReading struct {
+	Ref   timefmt.Stamp
+	Minus timefmt.Duration
+	Plus  timefmt.Duration
+}
+
+// NTPABus reads the multiplexed NTPA-bus: the 48-bit-wide export of the
+// entire local time and accuracy information "at full speed" (paper
+// §3.3), intended for extension modules on the M-Modules' intermodule
+// port. Unlike the software-visible registers it carries the full
+// internal resolution.
+func (u *UTCSU) NTPABus() (t fixpt.Time, alphaMinus, alphaPlus timefmt.Alpha) {
+	n := u.tick()
+	am, ap := u.acu.at(n)
+	return u.ltu.valueAt(n), am, ap
+}
+
+// SelfTest is the BTU: it exercises the adder path against a recomputed
+// reference and verifies the checksum generator, returning an error on
+// mismatch (always nil in this model unless the state was corrupted).
+func (u *UTCSU) SelfTest() error {
+	n := u.tick()
+	v := u.ltu.valueAt(n)
+	w := u.ltu.valueAt(n) // re-read must be identical at the same tick
+	if v != w {
+		return fmt.Errorf("utcsu: BTU adder mismatch: %v vs %v", v, w)
+	}
+	s := timefmt.StampFromTime(v)
+	ts, ms := s.Words()
+	if got, ok := timefmt.FromWords(ts, ms); !ok || got != s {
+		return fmt.Errorf("utcsu: BTU checksum path corrupt")
+	}
+	return nil
+}
