@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench campaign-check
+
+# ci is the gate run by .github/workflows/ci.yml: vet, build, and the
+# full test suite under the race detector (the harness worker pool is
+# the main customer of -race).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# campaign-check runs the smoke campaign and gates it against the
+# committed golden file (regenerate with:
+#   go run ./cmd/nticampaign -preset smoke -write-golden cmd/nticampaign/testdata/smoke.golden.json)
+campaign-check:
+	$(GO) run ./cmd/nticampaign -preset smoke -q -check cmd/nticampaign/testdata/smoke.golden.json

@@ -6,10 +6,13 @@
 package main_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"ntisim/internal/cluster"
 	"ntisim/internal/experiments"
+	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 )
 
@@ -186,6 +189,39 @@ func BenchmarkSnapshot(b *testing.B) {
 		cs = c.Snapshot()
 	}
 	_ = cs
+}
+
+// BenchmarkCampaignParallelSpeedup runs a fixed 12-cell campaign
+// through the harness with 1 worker and with GOMAXPROCS workers. On a
+// multi-core machine the workers-NN variant should show >2× the cells/s
+// of workers-01 (cells are independent simulations; the pool is
+// embarrassingly parallel), while the JSONL artifacts stay
+// byte-identical — see internal/harness TestParallelDeterminism.
+func BenchmarkCampaignParallelSpeedup(b *testing.B) {
+	spec := harness.Spec{
+		Name:         "bench",
+		Base:         cluster.Defaults(8, benchSeed),
+		Points:       harness.Cross(harness.NodesAxis(4, 8), harness.LoadAxis(0, 0.3, 0.6)),
+		Seeds:        []uint64{benchSeed, benchSeed + 1},
+		WarmupS:      5,
+		WindowS:      20,
+		SampleEveryS: 1,
+	}
+	cells := len(spec.Cells())
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%02d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := spec
+				s.Workers = workers
+				camp := harness.Run(s)
+				if n := len(camp.Failed()); n > 0 {
+					b.Fatalf("%d cells failed", n)
+				}
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
 }
 
 func BenchmarkE14ConvergenceShootout(b *testing.B) {

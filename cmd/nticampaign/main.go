@@ -1,0 +1,203 @@
+// Command nticampaign runs full experiment campaigns — EXPERIMENTS.md
+// style matrices of cluster size × round period × background load, or
+// the complete GPS fault × policy grid — through the internal/harness
+// engine: every cell an independent deterministic simulation, fanned
+// across all cores, with JSONL/CSV/manifest artifacts and golden-file
+// regression gating.
+//
+// Usage:
+//
+//	nticampaign -list                        # available presets
+//	nticampaign -preset matrix -out artifacts/
+//	nticampaign -preset smoke -check testdata/smoke.golden.json
+//	nticampaign -preset smoke -write-golden testdata/smoke.golden.json
+//
+// Golden files are regenerated with -write-golden after an intentional
+// behavior change and committed; -check then gates CI against them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ntisim/internal/cluster"
+	"ntisim/internal/harness"
+	"ntisim/internal/metrics"
+)
+
+// preset bundles a grid with the sampling schedule that suits it.
+type preset struct {
+	desc   string
+	points func() []harness.Point
+	spec   func(*harness.Spec)
+}
+
+var presets = map[string]preset{
+	"smoke": {
+		desc:   "4-cell nodes×load grid with a short window (CI regression gate)",
+		points: func() []harness.Point { return harness.Cross(harness.NodesAxis(2, 8), harness.LoadAxis(0, 0.3)) },
+		spec: func(s *harness.Spec) {
+			s.WarmupS = 10
+			s.WindowS = 30
+		},
+	},
+	"matrix": {
+		desc: "nodes × period × load matrix (36 points/seed)",
+		points: func() []harness.Point {
+			return harness.Cross(
+				harness.NodesAxis(2, 4, 8, 16),
+				harness.PeriodAxis(0.5, 1, 2),
+				harness.LoadAxis(0, 0.3, 0.6),
+			)
+		},
+	},
+	"faults": {
+		desc: "every GPS fault kind under validated and naive-trust policies",
+		points: func() []harness.Point {
+			var scenarios []harness.FaultScenario
+			for _, k := range harness.AllFaultKinds() {
+				for _, trust := range []bool{false, true} {
+					scenarios = append(scenarios, harness.FaultScenario{
+						Kind: k, Magnitude: 20e-3, StartS: 60, Trust: trust,
+					})
+				}
+			}
+			return harness.FaultAxis(3, scenarios...).Points
+		},
+		spec: func(s *harness.Spec) {
+			s.DelayProbes = 16
+			s.WindowS = 180
+			s.SampleEveryS = 5
+		},
+	},
+	"scaling": {
+		desc: "cluster size × oscillator frequency (throughput/impairment study)",
+		points: func() []harness.Point {
+			return harness.Cross(harness.NodesAxis(2, 8, 16, 32), harness.FoscAxis(1e6, 10e6, 20e6))
+		},
+	},
+}
+
+func presetChoices() string {
+	var names []string
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nticampaign: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		presetName  = flag.String("preset", "smoke", "campaign preset: "+presetChoices())
+		list        = flag.Bool("list", false, "list presets and exit")
+		seed        = flag.Uint64("seed", 1998, "base random seed")
+		seedCount   = flag.Int("seeds", 1, "number of consecutive seeds per point")
+		window      = flag.Float64("window", 0, "override measurement window [sim s]")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir      = flag.String("out", "", "write JSONL/CSV/manifest artifacts into this directory")
+		checkPath   = flag.String("check", "", "gate against this golden file (non-zero exit on deviation)")
+		writeGolden = flag.String("write-golden", "", "write/refresh the golden file from this run")
+		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for n := range presets {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-9s %s\n", n, presets[n].desc)
+		}
+		return
+	}
+	p, ok := presets[*presetName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nticampaign: unknown preset %q (choices: %s)\n", *presetName, presetChoices())
+		os.Exit(2)
+	}
+	if *seedCount < 1 {
+		fmt.Fprintln(os.Stderr, "nticampaign: -seeds must be >= 1")
+		os.Exit(2)
+	}
+
+	seeds := make([]uint64, *seedCount)
+	for i := range seeds {
+		seeds[i] = *seed + uint64(i)
+	}
+	spec := harness.Spec{
+		Name:    "campaign-" + *presetName,
+		Base:    cluster.Defaults(8, *seed),
+		Points:  p.points(),
+		Seeds:   seeds,
+		Workers: *workers,
+	}
+	if p.spec != nil {
+		p.spec(&spec)
+	}
+	if *window > 0 {
+		spec.WindowS = *window
+	}
+	if !*quiet {
+		spec.Progress = os.Stderr
+	}
+
+	camp := harness.Run(spec)
+
+	tb := metrics.Table{Header: []string{"cell", "seed", "mean prec [µs]", "worst prec [µs]", "worst |C-t| [µs]", "width ±[µs]", "CSP use"}}
+	for i := range camp.Results {
+		r := &camp.Results[i]
+		if r.Err != "" {
+			tb.AddRow(r.Label, fmt.Sprint(r.Seed), "error", r.Err, "", "", "")
+			continue
+		}
+		tb.AddRow(r.Label, fmt.Sprint(r.Seed),
+			metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max),
+			metrics.Us(r.Accuracy.Max), metrics.Us(r.Width.Mean),
+			fmt.Sprintf("%.1f%%", 100*r.CSPUse))
+	}
+	tb.Fprint(os.Stdout)
+	fmt.Printf("\n%d cells, %.0f sim-s total in %.2fs wall (%.0f sim-s/s, %d workers)\n",
+		len(camp.Results), camp.TotalSimS(), camp.WallS, camp.TotalSimS()/camp.WallS, camp.Workers)
+
+	if *outDir != "" {
+		paths, err := camp.WriteArtifacts(*outDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("artifacts: %s\n", strings.Join(paths, ", "))
+	}
+	if *writeGolden != "" {
+		if err := camp.Golden(harness.DefaultTolerance).Write(*writeGolden); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("golden written: %s\n", *writeGolden)
+	}
+	if *checkPath != "" {
+		g, err := harness.LoadGolden(*checkPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if devs := camp.Check(g); len(devs) > 0 {
+			fmt.Fprintf(os.Stderr, "nticampaign: regression gate FAILED, %d deviation(s) vs %s:\n", len(devs), *checkPath)
+			for _, d := range devs {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("regression gate passed: %d cells match %s\n", len(camp.Results), *checkPath)
+	}
+	if failed := camp.Failed(); len(failed) > 0 {
+		fatalf("%d of %d cells failed", len(failed), len(camp.Results))
+	}
+}

@@ -1,26 +1,46 @@
 // Command ntifault runs targeted fault-injection studies against a
 // GPS-anchored cluster: pick a receiver failure mode (from the [HS97]
 // failure classes), a magnitude and a policy, and watch what the
-// interval-based clock validation does with it.
+// interval-based clock validation does with it. Cells execute through
+// the internal/harness campaign engine; `-fault all` fans the whole
+// fault × policy matrix across all cores and prints a summary table.
 //
 // Usage:
 //
 //	ntifault -fault offset -mag 0.02 -nodes 8 -trust=false
+//	ntifault -fault all              # every fault kind under both policies
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"ntisim/internal/cluster"
 	"ntisim/internal/gps"
+	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 )
 
+var kinds = map[string]gps.FaultKind{
+	"none": gps.FaultNone, "outage": gps.FaultOutage, "offset": gps.FaultOffset,
+	"wrongsec": gps.FaultWrongSec, "flapping": gps.FaultFlapping, "ramp": gps.FaultRampDrift,
+}
+
+func kindChoices() string {
+	names := make([]string, 0, len(kinds)+1)
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(append(names, "all"), "|")
+}
+
 func main() {
 	var (
-		faultName = flag.String("fault", "offset", "fault kind: none|outage|offset|wrongsec|flapping|ramp")
+		faultName = flag.String("fault", "offset", "fault kind: "+kindChoices())
 		magnitude = flag.Float64("mag", 20e-3, "fault magnitude (s, s/s or whole seconds, by kind)")
 		start     = flag.Float64("start", 60, "fault onset [sim s]")
 		nodes     = flag.Int("nodes", 8, "cluster size")
@@ -28,64 +48,111 @@ func main() {
 		trust     = flag.Bool("trust", false, "naively trust GPS (bypass clock validation)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		duration  = flag.Float64("duration", 240, "total simulated time [s]")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		jsonlPath = flag.String("jsonl", "", "also write per-cell JSONL records to this file")
 	)
 	flag.Parse()
 
-	kinds := map[string]gps.FaultKind{
-		"none": gps.FaultNone, "outage": gps.FaultOutage, "offset": gps.FaultOffset,
-		"wrongsec": gps.FaultWrongSec, "flapping": gps.FaultFlapping, "ramp": gps.FaultRampDrift,
-	}
-	kind, ok := kinds[*faultName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ntifault: unknown fault %q\n", *faultName)
-		os.Exit(2)
-	}
 	if *gpsNodes < 1 || *gpsNodes > *nodes {
 		fmt.Fprintln(os.Stderr, "ntifault: gps count out of range")
 		os.Exit(2)
 	}
 
-	cfg := cluster.Defaults(*nodes, *seed)
-	cfg.Sync.TrustExternal = *trust
-	cfg.GPS = map[int]gps.Config{}
-	for i := 0; i < *gpsNodes; i++ {
-		cfg.GPS[i] = gps.DefaultReceiver()
-	}
-	if kind != gps.FaultNone {
-		rc := gps.DefaultReceiver()
-		rc.Faults = []gps.Fault{{Kind: kind, Start: *start, Magnitude: *magnitude}}
-		cfg.GPS[*gpsNodes-1] = rc
-	}
-
-	c := cluster.New(cfg)
-	b := c.MeasureDelay(0, 1, 16)
-	for _, m := range c.Members {
-		m.Sync.SetDelayBounds(b)
-	}
-	c.Start(c.Sim.Now() + 1)
-
-	fmt.Printf("fault=%s mag=%g onset=%gs policy=%s nodes=%d gps=%d seed=%d\n\n",
-		kind, *magnitude, *start, policy(*trust), *nodes, *gpsNodes, *seed)
-	tb := metrics.Table{Header: []string{"t [s]", "precision [µs]", "worst |C-t| [µs]", "contained", "ext acc/rej"}}
-	begin := c.Sim.Now()
-	for t := begin + 10; t <= begin+*duration; t += 10 {
-		c.Sim.RunUntil(t)
-		cs := c.Snapshot()
-		var acc, rej uint64
-		for _, m := range c.Members {
-			st := m.Sync.Stats()
-			acc += st.ExternalAccepted
-			rej += st.ExternalRejected
+	var scenarios []harness.FaultScenario
+	if *faultName == "all" {
+		var names []string
+		for n := range kinds {
+			names = append(names, n)
 		}
-		tb.AddRow(fmt.Sprintf("%.0f", t), metrics.Us(cs.Precision), metrics.Us(cs.MaxAbsOffset),
-			fmt.Sprint(cs.Contained), fmt.Sprintf("%d/%d", acc, rej))
+		sort.Strings(names)
+		for _, n := range names {
+			for _, tr := range []bool{false, true} {
+				scenarios = append(scenarios, harness.FaultScenario{
+					Kind: kinds[n], Magnitude: *magnitude, StartS: *start, Trust: tr,
+				})
+			}
+		}
+	} else {
+		kind, ok := kinds[*faultName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ntifault: unknown fault %q (choices: %s)\n", *faultName, kindChoices())
+			os.Exit(2)
+		}
+		scenarios = []harness.FaultScenario{{Kind: kind, Magnitude: *magnitude, StartS: *start, Trust: *trust}}
+	}
+
+	spec := harness.Spec{
+		Name:         "fault",
+		Base:         cluster.Defaults(*nodes, *seed),
+		Points:       harness.FaultAxis(*gpsNodes, scenarios...).Points,
+		Seeds:        []uint64{*seed},
+		DelayProbes:  16,
+		WarmupS:      5,
+		WindowS:      *duration,
+		SampleEveryS: 10,
+		Timeline:     len(scenarios) == 1,
+		Workers:      *workers,
+	}
+	if len(scenarios) > 1 {
+		spec.Progress = os.Stderr
+	}
+	camp := harness.Run(spec)
+
+	if spec.Timeline {
+		printTimeline(&camp.Results[0], *nodes, *gpsNodes, *seed)
+	} else {
+		printMatrix(camp)
+	}
+
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err == nil {
+			err = camp.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntifault: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed := camp.Failed(); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "ntifault: %d of %d cells failed\n", len(failed), len(camp.Results))
+		os.Exit(1)
+	}
+}
+
+// printTimeline renders the single-scenario evolution, one row per
+// sample, as the pre-harness ntifault did.
+func printTimeline(r *harness.Result, nodes, gpsN int, seed uint64) {
+	fmt.Printf("fault=%s mag=%s onset=%ss policy=%s nodes=%d gps=%d seed=%d\n\n",
+		r.Params["fault"], r.Params["mag"], r.Params["onset"], r.Params["policy"], nodes, gpsN, seed)
+	if r.Err != "" {
+		fmt.Printf("cell failed: %s\n", r.Err)
+		return
+	}
+	tb := metrics.Table{Header: []string{"t [s]", "precision [µs]", "worst |C-t| [µs]", "contained", "ext acc/rej"}}
+	for _, p := range r.Timeline {
+		tb.AddRow(fmt.Sprintf("%.0f", p.T), metrics.Us(p.PrecisionS), metrics.Us(p.MaxAbsOffS),
+			fmt.Sprint(p.Contained), fmt.Sprintf("%d/%d", p.ExtAccepted, p.ExtRejected))
 	}
 	tb.Fprint(os.Stdout)
 }
 
-func policy(trust bool) string {
-	if trust {
-		return "naive-trust"
+// printMatrix renders the fault × policy summary.
+func printMatrix(camp *harness.Campaign) {
+	tb := metrics.Table{Header: []string{"fault", "policy", "mean prec [µs]", "worst |C-t| [µs]", "contained", "ext acc/rej"}}
+	for i := range camp.Results {
+		r := &camp.Results[i]
+		if r.Err != "" {
+			tb.AddRow(r.Params["fault"], r.Params["policy"], "error", r.Err, "", "")
+			continue
+		}
+		contained := fmt.Sprintf("%d/%d", r.Samples-r.ContainmentViolations, r.Samples)
+		tb.AddRow(r.Params["fault"], r.Params["policy"],
+			metrics.Us(r.Precision.Mean), metrics.Us(r.Accuracy.Max), contained,
+			fmt.Sprintf("%d/%d", r.Sync.ExternalAccepted, r.Sync.ExternalRejected))
 	}
-	return "validated"
+	tb.Fprint(os.Stdout)
 }

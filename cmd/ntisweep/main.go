@@ -2,7 +2,9 @@
 // one parameter (cluster size, round period, background load, oscillator
 // frequency or fault tolerance) while holding the paper's prototype
 // configuration for everything else, and prints the achieved precision
-// and interval width per point.
+// and interval width per point. Cells run in parallel through the
+// internal/harness campaign engine; output is identical for any worker
+// count.
 //
 // Usage:
 //
@@ -11,102 +13,99 @@
 //	ntisweep -param load             # 0..60 % background traffic
 //	ntisweep -param fosc             # 1..20 MHz
 //	ntisweep -param f                # fault tolerance degree on 10 nodes
+//	ntisweep -param nodes -jsonl sweep.jsonl -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"ntisim/internal/cluster"
+	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
-	"ntisim/internal/timefmt"
 )
 
+// axes maps -param values to their sweep axis.
+var axes = map[string]func() harness.Axis{
+	"nodes":  func() harness.Axis { return harness.NodesAxis() },
+	"period": func() harness.Axis { return harness.PeriodAxis() },
+	"load":   func() harness.Axis { return harness.LoadAxis() },
+	"fosc":   func() harness.Axis { return harness.FoscAxis() },
+	"f":      func() harness.Axis { return harness.FAxis(10) },
+}
+
+func paramChoices() string {
+	var names []string
+	for n := range axes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
 func main() {
-	param := flag.String("param", "nodes", "sweep parameter: nodes|period|load|fosc|f")
+	param := flag.String("param", "nodes", "sweep parameter: "+paramChoices())
 	seed := flag.Uint64("seed", 7, "random seed")
 	window := flag.Float64("window", 60, "measurement window [sim s]")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	jsonlPath := flag.String("jsonl", "", "also write per-cell JSONL records to this file")
+	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	flag.Parse()
 
-	type point struct {
-		label string
-		mut   func(*cluster.Config)
-	}
-	var points []point
-	switch *param {
-	case "nodes":
-		for _, n := range []int{2, 4, 8, 16, 24, 32} {
-			n := n
-			points = append(points, point{fmt.Sprintf("n=%d", n), func(c *cluster.Config) { c.Nodes = n }})
-		}
-	case "period":
-		for _, p := range []float64{0.25, 0.5, 1, 2, 4} {
-			p := p
-			points = append(points, point{fmt.Sprintf("P=%.2gs", p), func(c *cluster.Config) {
-				c.Sync.RoundPeriod = timefmt.DurationFromSeconds(p)
-				c.Sync.ComputeDelay = timefmt.DurationFromSeconds(p / 4)
-			}})
-		}
-	case "load":
-		for _, l := range []float64{0, 0.15, 0.3, 0.45, 0.6} {
-			l := l
-			points = append(points, point{fmt.Sprintf("load=%.0f%%", l*100), func(c *cluster.Config) { c.BackgroundLoad = l }})
-		}
-	case "fosc":
-		for _, f := range []float64{1e6, 4e6, 10e6, 14e6, 20e6} {
-			f := f
-			points = append(points, point{fmt.Sprintf("f=%.0fMHz", f/1e6), func(c *cluster.Config) { c.OscHz = f }})
-		}
-	case "f":
-		for _, fv := range []int{0, 1, 2, 3, 4} {
-			fv := fv
-			points = append(points, point{fmt.Sprintf("F=%d", fv), func(c *cluster.Config) {
-				c.Nodes = 10
-				c.Sync.F = fv
-			}})
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "ntisweep: unknown parameter %q\n", *param)
+	axis, ok := axes[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ntisweep: unknown parameter %q (choices: %s)\n", *param, paramChoices())
 		os.Exit(2)
 	}
 
+	spec := harness.Spec{
+		Name:    "sweep-" + *param,
+		Base:    cluster.Defaults(8, *seed),
+		Points:  axis().Points,
+		Seeds:   []uint64{*seed},
+		WindowS: *window,
+		Workers: *workers,
+	}
+	if !*quiet {
+		spec.Progress = os.Stderr
+	}
+	camp := harness.Run(spec)
+
 	tb := metrics.Table{Header: []string{*param, "mean prec [µs]", "worst prec [µs]", "mean width ±[µs]", "CSP use"}}
-	for _, pt := range points {
-		cfg := cluster.Defaults(8, *seed)
-		pt.mut(&cfg)
-		c := cluster.New(cfg)
-		b := c.MeasureDelay(0, 1, 12)
-		for _, m := range c.Members {
-			m.Sync.SetDelayBounds(b)
+	for i := range camp.Results {
+		r := &camp.Results[i]
+		if r.Err != "" {
+			tb.AddRow(r.Label, "error", r.Err, "", "")
+			continue
 		}
-		c.Start(c.Sim.Now() + 1)
-		c.Sim.RunUntil(c.Sim.Now() + 20)
-		var prec, width metrics.Series
-		start := c.Sim.Now()
-		for t := start; t <= start+*window; t += 1 {
-			c.Sim.RunUntil(t)
-			cs := c.Snapshot()
-			prec.Add(cs.Precision)
-			var w metrics.Series
-			for _, m := range c.Members {
-				am, ap := m.U.Alpha()
-				w.Add((am.Duration().Seconds() + ap.Duration().Seconds()) / 2)
-			}
-			width.Add(w.Mean())
-		}
-		var used, sent uint64
-		for _, m := range c.Members {
-			st := m.Sync.Stats()
-			used += st.CSPsUsed
-			sent += st.CSPsSent
-		}
-		ideal := sent * uint64(len(c.Members)-1)
 		use := "n/a"
-		if ideal > 0 {
-			use = fmt.Sprintf("%.1f%%", 100*float64(used)/float64(ideal))
+		if r.Sync.CSPsSent > 0 {
+			use = fmt.Sprintf("%.1f%%", 100*r.CSPUse)
 		}
-		tb.AddRow(pt.label, metrics.Us(prec.Mean()), metrics.Us(prec.Max()), metrics.Us(width.Mean()), use)
+		tb.AddRow(r.Label, metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max), metrics.Us(r.Width.Mean), use)
 	}
 	tb.Fprint(os.Stdout)
+
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntisweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := camp.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ntisweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ntisweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed := camp.Failed(); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "ntisweep: %d of %d cells failed\n", len(failed), len(camp.Results))
+		os.Exit(1)
+	}
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"ntisim/internal/cluster"
 	"ntisim/internal/csp"
@@ -61,8 +62,8 @@ func main() {
 	dumpHeader(rxHdr[:])
 
 	if arrival == nil {
-		fmt.Println("\nCSP never reached the CI — trace failed")
-		return
+		fmt.Fprintln(os.Stderr, "\nntitrace: CSP never reached the CI — trace failed")
+		os.Exit(1)
 	}
 	tx, ok := arrival.Pkt.TxStamp()
 	fmt.Printf("\nCI delivery at t=%.6f\n", arrival.At)

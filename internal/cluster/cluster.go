@@ -21,6 +21,15 @@ import (
 )
 
 // Config assembles a cluster.
+//
+// A Config is mostly a value type, but GPS (a map) and the Faults
+// slices inside its receiver configs alias their originals on plain
+// struct copy. Parameter sweeps that mutate per-cell configs must go
+// through Clone, which deep-copies those; all other fields (including
+// the nested Medium/Kernel/COMCO/Sync structs) are safe to mutate on a
+// struct copy. The two function fields, OscillatorFor and ClockFactory,
+// remain shared by Clone — they must be pure (no captured mutable
+// state) to keep cloned configs independent.
 type Config struct {
 	Nodes int
 	Seed  uint64
@@ -68,6 +77,22 @@ func Defaults(n int, seed uint64) Config {
 			StaggerSlot: timefmt.DurationFromSeconds(200e-6),
 		},
 	}
+}
+
+// Clone returns a deep copy safe for independent per-cell mutation in
+// parameter sweeps: the GPS map and each receiver config's Faults slice
+// are copied, so mutating one clone's GPS setup can never leak into
+// another cell sharing the same base Config.
+func (c Config) Clone() Config {
+	out := c // copies every value field, including nested structs
+	if c.GPS != nil {
+		out.GPS = make(map[int]gps.Config, len(c.GPS))
+		for i, rc := range c.GPS {
+			rc.Faults = append([]gps.Fault(nil), rc.Faults...)
+			out.GPS[i] = rc
+		}
+	}
+	return out
 }
 
 // fDefault is the default fault-tolerance degree for n nodes.

@@ -382,3 +382,45 @@ func TestPPSAlignmentAcrossCluster(t *testing.T) {
 		t.Fatalf("only %d full PPS rounds", checked)
 	}
 }
+
+// TestConfigClone: mutating a clone's GPS setup (the map and the Faults
+// slices inside it) must not leak into the original — the property the
+// harness' per-cell grid mutation depends on.
+func TestConfigClone(t *testing.T) {
+	base := Defaults(8, 1)
+	base.GPS = map[int]gps.Config{
+		0: gps.DefaultReceiver(),
+		1: {AccuracyS: 1e-6, Faults: []gps.Fault{{Kind: gps.FaultOutage, Start: 10}}},
+	}
+
+	c := base.Clone()
+	c.Nodes = 4
+	c.GPS[2] = gps.DefaultReceiver()
+	c.GPS[1] = func() gps.Config {
+		rc := c.GPS[1]
+		rc.Faults[0].Kind = gps.FaultOffset
+		rc.Faults = append(rc.Faults, gps.Fault{Kind: gps.FaultFlapping, Start: 99})
+		return rc
+	}()
+
+	if base.Nodes != 8 {
+		t.Errorf("base.Nodes mutated: %d", base.Nodes)
+	}
+	if len(base.GPS) != 2 {
+		t.Errorf("base GPS map mutated: %v", base.GPS)
+	}
+	if got := base.GPS[1].Faults; len(got) != 1 || got[0].Kind != gps.FaultOutage {
+		t.Errorf("base GPS faults mutated: %v", got)
+	}
+
+	// A nil GPS map stays nil and the clone is still independent.
+	var plain Config = Defaults(2, 1)
+	c2 := plain.Clone()
+	if c2.GPS != nil {
+		t.Errorf("clone invented a GPS map")
+	}
+	c2.Sync.F = 99
+	if plain.Sync.F == 99 {
+		t.Errorf("Sync aliased between clone and original")
+	}
+}

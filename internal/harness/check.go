@@ -1,0 +1,158 @@
+// Regression gating: a Golden file pins the key statistics of every
+// cell of a campaign; Check diffs a fresh run against it within a
+// relative tolerance. Runs are seed-deterministic, so the tolerance
+// only has to absorb cross-architecture floating-point variation
+// (e.g. FMA contraction), not run-to-run noise.
+
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// DefaultTolerance is the relative deviation allowed by Check when the
+// golden file doesn't set one.
+const DefaultTolerance = 1e-6
+
+// GoldenCell pins one cell's gating statistics (seconds).
+type GoldenCell struct {
+	PrecisionMean         float64 `json:"precision_mean_s"`
+	PrecisionMax          float64 `json:"precision_max_s"`
+	AccuracyMax           float64 `json:"accuracy_max_s"`
+	WidthMean             float64 `json:"width_mean_s"`
+	ContainmentViolations int     `json:"containment_violations"`
+	Samples               int     `json:"samples"`
+}
+
+// Golden is the committed regression reference for one campaign.
+type Golden struct {
+	Name string `json:"name"`
+	// Tolerance is the allowed relative deviation per statistic
+	// (DefaultTolerance when 0).
+	Tolerance float64 `json:"tolerance"`
+	// Cells maps Cell.Key() → pinned statistics.
+	Cells map[string]GoldenCell `json:"cells"`
+}
+
+// Golden derives the reference from an executed campaign.
+func (c *Campaign) Golden(tolerance float64) Golden {
+	g := Golden{Name: c.Spec.Name, Tolerance: tolerance, Cells: map[string]GoldenCell{}}
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.Err != "" {
+			continue
+		}
+		g.Cells[r.Key()] = GoldenCell{
+			PrecisionMean:         r.Precision.Mean,
+			PrecisionMax:          r.Precision.Max,
+			AccuracyMax:           r.Accuracy.Max,
+			WidthMean:             r.Width.Mean,
+			ContainmentViolations: r.ContainmentViolations,
+			Samples:               r.Samples,
+		}
+	}
+	return g
+}
+
+// Check diffs the campaign against the golden reference and returns one
+// human-readable deviation per mismatch (empty slice: gate passes).
+// Cells present in only one side are deviations too, so grid drift is
+// caught, not silently ignored.
+func (c *Campaign) Check(g Golden) []string {
+	tol := g.Tolerance
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	var devs []string
+	seen := map[string]bool{}
+	for i := range c.Results {
+		r := &c.Results[i]
+		key := r.Key()
+		seen[key] = true
+		if r.Err != "" {
+			devs = append(devs, fmt.Sprintf("%s: cell errored: %s", key, r.Err))
+			continue
+		}
+		want, ok := g.Cells[key]
+		if !ok {
+			devs = append(devs, fmt.Sprintf("%s: not in golden file (grid changed? regenerate with -write-golden)", key))
+			continue
+		}
+		check := func(stat string, got, ref float64) {
+			if relDev(got, ref) > tol {
+				devs = append(devs, fmt.Sprintf("%s: %s %.9g, golden %.9g (rel dev %.2e > tol %.2e)",
+					key, stat, got, ref, relDev(got, ref), tol))
+			}
+		}
+		check("precision_mean", r.Precision.Mean, want.PrecisionMean)
+		check("precision_max", r.Precision.Max, want.PrecisionMax)
+		check("accuracy_max", r.Accuracy.Max, want.AccuracyMax)
+		check("width_mean", r.Width.Mean, want.WidthMean)
+		if r.ContainmentViolations != want.ContainmentViolations {
+			devs = append(devs, fmt.Sprintf("%s: containment_violations %d, golden %d",
+				key, r.ContainmentViolations, want.ContainmentViolations))
+		}
+		if r.Samples != want.Samples {
+			devs = append(devs, fmt.Sprintf("%s: samples %d, golden %d", key, r.Samples, want.Samples))
+		}
+	}
+	var missing []string
+	for key := range g.Cells {
+		if !seen[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		devs = append(devs, fmt.Sprintf("%s: in golden file but not in campaign", key))
+	}
+	return devs
+}
+
+// relDev is |got−ref| / max(|ref|, tiny): relative where the reference
+// is meaningful, absolute near zero (widths/precisions are ≥ 0 but a
+// pinned 0 must match a computed 0 exactly).
+func relDev(got, ref float64) float64 {
+	d := math.Abs(got - ref)
+	if d == 0 {
+		return 0
+	}
+	den := math.Abs(ref)
+	if den < 1e-30 {
+		return math.Inf(1)
+	}
+	return d / den
+}
+
+// LoadGolden reads a golden file.
+func LoadGolden(path string) (Golden, error) {
+	var g Golden
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return g, err
+	}
+	if err := json.Unmarshal(b, &g); err != nil {
+		return g, fmt.Errorf("harness: parse golden %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Write stores the golden file with stable formatting (sorted keys via
+// encoding/json's map ordering) so regeneration diffs cleanly.
+func (g Golden) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,351 @@
+// Package harness is the experiment-campaign engine: it fans a grid of
+// cluster configurations (parameter points × seeds) across a worker
+// pool, runs each cell as an independent deterministic simulation, and
+// aggregates typed results for tables, JSONL/CSV artifacts and
+// regression gating.
+//
+// The simulation kernel is seed-deterministic and every cell owns its
+// own sim.Simulator, so parallel execution is bit-for-bit reproducible
+// regardless of worker count or scheduling order: results are keyed by
+// cell index, not completion order. cmd/ntisweep, cmd/ntifault and
+// cmd/nticampaign are thin front-ends over this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ntisim/internal/cluster"
+	"ntisim/internal/metrics"
+)
+
+// Point is one parameter point of a campaign grid: a label, a
+// serializable parameter description, and a mutation applied to a
+// Clone of the base config.
+type Point struct {
+	Label string
+	// Params describes the point for artifacts/manifests (e.g.
+	// {"nodes": "16"}). Keys are merged left-to-right by Cross.
+	Params map[string]string
+	// Mutate edits the (already cloned) per-cell config. It must be
+	// pure: any maps/slices it installs must be freshly allocated per
+	// call, never shared across calls.
+	Mutate func(*cluster.Config)
+}
+
+// Cell is one executable unit of a campaign: a point run under one seed.
+type Cell struct {
+	// Index is the stable cell ID: position in the seeds × points grid.
+	// Results are ordered by Index regardless of execution order.
+	Index int
+	Point Point
+	Seed  uint64
+}
+
+// Key is the stable identity of the cell across campaign runs with the
+// same grid, used by golden files.
+func (c Cell) Key() string { return fmt.Sprintf("%s/seed=%d", c.Point.Label, c.Seed) }
+
+// Spec declares a campaign.
+type Spec struct {
+	// Name identifies the campaign in manifests and progress output.
+	Name string
+	// Base is the configuration every cell starts from (cloned per
+	// cell; see cluster.Config.Clone). Base.Seed is overridden by the
+	// cell's seed.
+	Base cluster.Config
+	// Points is the parameter grid (see Cross and the *Axis helpers).
+	Points []Point
+	// Seeds lists the seeds each point runs under; default {Base.Seed}.
+	Seeds []uint64
+
+	// WarmupS is settle time after synchronizer start before sampling
+	// begins (default 20 sim-s — past initial-step transients).
+	WarmupS float64
+	// WindowS is the measurement window (default 60 sim-s).
+	WindowS float64
+	// SampleEveryS is the sampling period (default 1 sim-s).
+	SampleEveryS float64
+	// DelayProbes is the RTT probe count for MeasureDelay before start
+	// (default 12; negative disables and keeps the a priori bounds).
+	DelayProbes int
+	// Timeline keeps the per-sample timeline in each Result (heavier
+	// artifacts; used by fault studies that care about onset/recovery).
+	Timeline bool
+
+	// Workers sizes the pool (default GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.WarmupS == 0 {
+		out.WarmupS = 20
+	}
+	if out.WindowS == 0 {
+		out.WindowS = 60
+	}
+	if out.SampleEveryS == 0 {
+		out.SampleEveryS = 1
+	}
+	if out.DelayProbes == 0 {
+		out.DelayProbes = 12
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(out.Seeds) == 0 {
+		out.Seeds = []uint64{out.Base.Seed}
+	}
+	return out
+}
+
+// Cells enumerates the seeds × points grid in stable order (seed-major,
+// matching how multi-seed tables group rows).
+func (s *Spec) Cells() []Cell {
+	sp := s.withDefaults()
+	var cells []Cell
+	for _, seed := range sp.Seeds {
+		for _, p := range sp.Points {
+			cells = append(cells, Cell{Index: len(cells), Point: p, Seed: seed})
+		}
+	}
+	return cells
+}
+
+// SyncTotals aggregates clocksync statistics across a cell's members.
+type SyncTotals struct {
+	Rounds            uint64 `json:"rounds"`
+	CSPsSent          uint64 `json:"csps_sent"`
+	CSPsUsed          uint64 `json:"csps_used"`
+	ConvergenceFailed uint64 `json:"convergence_failed"`
+	ExternalAccepted  uint64 `json:"external_accepted"`
+	ExternalRejected  uint64 `json:"external_rejected"`
+}
+
+// TimelinePoint is one sample of a cell's evolution (kept only when
+// Spec.Timeline is set).
+type TimelinePoint struct {
+	// T is sim time since the start of the measurement window.
+	T           float64 `json:"t"`
+	PrecisionS  float64 `json:"precision_s"`
+	MaxAbsOffS  float64 `json:"max_abs_offset_s"`
+	Contained   bool    `json:"contained"`
+	ExtAccepted uint64  `json:"ext_accepted"`
+	ExtRejected uint64  `json:"ext_rejected"`
+}
+
+// Result is the typed outcome of one cell. All series statistics are in
+// seconds. The JSON form is stable and deterministic for a given spec —
+// wall-clock fields are excluded from serialization so artifacts are
+// byte-identical across worker counts and machines.
+type Result struct {
+	Cell   int               `json:"cell"`
+	Label  string            `json:"label"`
+	Seed   uint64            `json:"seed"`
+	Params map[string]string `json:"params,omitempty"`
+
+	// Precision is max pairwise clock difference per sample;
+	// Accuracy is max |C_i − t|; Width is the mean accuracy-interval
+	// half-width across nodes.
+	Precision metrics.SeriesStats `json:"precision"`
+	Accuracy  metrics.SeriesStats `json:"accuracy"`
+	Width     metrics.SeriesStats `json:"width"`
+	// ContainmentViolations counts samples where some node's accuracy
+	// interval failed to contain real time (requirement (A) of §2).
+	ContainmentViolations int `json:"containment_violations"`
+	Samples               int `json:"samples"`
+
+	Sync SyncTotals `json:"sync"`
+	// CSPUse is used/(sent·(n−1)): the fraction of broadcast CSPs that
+	// survived to convergence at their receivers.
+	CSPUse float64 `json:"csp_use"`
+
+	// Events is the number of simulation events fired; SimS the total
+	// simulated span. Together with WallS they give throughput.
+	Events uint64  `json:"events"`
+	SimS   float64 `json:"sim_s"`
+	// WallS is excluded from JSON: it varies run-to-run and would break
+	// artifact determinism. Use Throughput for reporting.
+	WallS float64 `json:"-"`
+
+	Err string `json:"error,omitempty"`
+
+	Timeline []TimelinePoint `json:"timeline,omitempty"`
+}
+
+// Key matches Cell.Key for golden lookups.
+func (r *Result) Key() string { return fmt.Sprintf("%s/seed=%d", r.Label, r.Seed) }
+
+// Throughput returns simulated seconds per wall-clock second (0 when
+// the cell failed before running).
+func (r *Result) Throughput() float64 {
+	if r.WallS <= 0 {
+		return 0
+	}
+	return r.SimS / r.WallS
+}
+
+// Campaign is an executed Spec.
+type Campaign struct {
+	Spec Spec
+	// Results is indexed by cell ID (stable grid order).
+	Results []Result
+	// WallS is the total wall-clock time of the run.
+	WallS float64
+	// Workers is the resolved pool size.
+	Workers int
+}
+
+// TotalSimS sums simulated time across cells.
+func (c *Campaign) TotalSimS() float64 {
+	var s float64
+	for i := range c.Results {
+		s += c.Results[i].SimS
+	}
+	return s
+}
+
+// Failed returns the results that errored.
+func (c *Campaign) Failed() []Result {
+	var out []Result
+	for _, r := range c.Results {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes the campaign: every cell on its own simulator, fanned
+// across Workers goroutines. Results land in grid order, so output is
+// independent of scheduling. Run never fails the whole campaign for a
+// failing cell — per-cell panics are captured into Result.Err.
+func Run(spec Spec) *Campaign {
+	sp := spec.withDefaults()
+	cells := sp.Cells()
+	camp := &Campaign{Spec: sp, Results: make([]Result, len(cells)), Workers: sp.Workers}
+
+	start := time.Now()
+	work := make(chan Cell)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // progress writer + completion counter
+	done := 0
+	for w := 0; w < sp.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range work {
+				r := runCell(&sp, cell)
+				camp.Results[cell.Index] = r
+				if sp.Progress != nil {
+					mu.Lock()
+					done++
+					status := fmt.Sprintf("prec(mean)=%sµs", metrics.Us(r.Precision.Mean))
+					if r.Err != "" {
+						status = "ERROR: " + r.Err
+					}
+					fmt.Fprintf(sp.Progress, "[%*d/%d] %-28s %s (%.2fs wall, %.0f sim-s/s)\n",
+						digits(len(cells)), done, len(cells), cell.Key(), status, r.WallS, r.Throughput())
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, cell := range cells {
+		work <- cell
+	}
+	close(work)
+	wg.Wait()
+	camp.WallS = time.Since(start).Seconds()
+	return camp
+}
+
+func digits(n int) int { return len(fmt.Sprint(n)) }
+
+// runCell executes one independent simulation and summarizes it.
+func runCell(sp *Spec, cell Cell) (res Result) {
+	res = Result{Cell: cell.Index, Label: cell.Point.Label, Seed: cell.Seed, Params: cell.Point.Params}
+	wallStart := time.Now()
+	defer func() {
+		res.WallS = time.Since(wallStart).Seconds()
+		if p := recover(); p != nil {
+			res.Err = fmt.Sprint(p)
+		}
+	}()
+
+	cfg := sp.Base.Clone()
+	if cell.Point.Mutate != nil {
+		cell.Point.Mutate(&cfg)
+	}
+	cfg.Seed = cell.Seed
+
+	c := cluster.New(cfg)
+	if sp.DelayProbes > 0 && len(c.Members) >= 2 {
+		b := c.MeasureDelay(0, 1, sp.DelayProbes)
+		for _, m := range c.Members {
+			m.Sync.SetDelayBounds(b)
+		}
+	}
+	c.Start(c.Sim.Now() + 1)
+	c.Sim.RunUntil(c.Sim.Now() + sp.WarmupS)
+
+	var prec, acc, width metrics.Series
+	begin := c.Sim.Now()
+	for t := begin; t <= begin+sp.WindowS; t += sp.SampleEveryS {
+		c.Sim.RunUntil(t)
+		cs := c.Snapshot()
+		prec.Add(cs.Precision)
+		acc.Add(cs.MaxAbsOffset)
+		var w metrics.Series
+		for _, m := range c.Members {
+			am, ap := m.U.Alpha()
+			w.Add((am.Duration().Seconds() + ap.Duration().Seconds()) / 2)
+		}
+		width.Add(w.Mean())
+		if !cs.Contained {
+			res.ContainmentViolations++
+		}
+		res.Samples++
+		if sp.Timeline {
+			var ea, er uint64
+			for _, m := range c.Members {
+				st := m.Sync.Stats()
+				ea += st.ExternalAccepted
+				er += st.ExternalRejected
+			}
+			res.Timeline = append(res.Timeline, TimelinePoint{
+				T:           c.Sim.Now() - begin,
+				PrecisionS:  cs.Precision,
+				MaxAbsOffS:  cs.MaxAbsOffset,
+				Contained:   cs.Contained,
+				ExtAccepted: ea,
+				ExtRejected: er,
+			})
+		}
+	}
+
+	for _, m := range c.Members {
+		st := m.Sync.Stats()
+		res.Sync.Rounds += st.Rounds
+		res.Sync.CSPsSent += st.CSPsSent
+		res.Sync.CSPsUsed += st.CSPsUsed
+		res.Sync.ConvergenceFailed += st.ConvergenceFailed
+		res.Sync.ExternalAccepted += st.ExternalAccepted
+		res.Sync.ExternalRejected += st.ExternalRejected
+	}
+	if ideal := res.Sync.CSPsSent * uint64(len(c.Members)-1); ideal > 0 {
+		res.CSPUse = float64(res.Sync.CSPsUsed) / float64(ideal)
+	}
+	res.Precision = prec.Stats()
+	res.Accuracy = acc.Stats()
+	res.Width = width.Stats()
+	res.Events = c.Sim.EventCount()
+	res.SimS = c.Sim.Now()
+	return res
+}

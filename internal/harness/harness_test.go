@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ntisim/internal/cluster"
+	"ntisim/internal/gps"
+)
+
+// testSpec is a small but real campaign: 4 points × 2 seeds = 8 cells.
+func testSpec(workers int) Spec {
+	return Spec{
+		Name:         "test",
+		Base:         cluster.Defaults(2, 1),
+		Points:       NodesAxis(2, 3, 4, 5).Points,
+		Seeds:        []uint64{7, 8},
+		WarmupS:      2,
+		WindowS:      8,
+		SampleEveryS: 1,
+		DelayProbes:  4,
+		Workers:      workers,
+	}
+}
+
+func jsonl(t *testing.T, c *Campaign) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the harness' core guarantee: the same
+// campaign run with 1 worker and with many workers produces
+// byte-identical JSONL artifacts, because cells are independent
+// simulations keyed by cell ID (stable grid order), not by completion
+// order.
+func TestParallelDeterminism(t *testing.T) {
+	serial := Run(testSpec(1))
+	parallel := Run(testSpec(4))
+	if got, want := len(parallel.Results), 8; got != want {
+		t.Fatalf("cells = %d, want %d", got, want)
+	}
+	for _, r := range serial.Results {
+		if r.Err != "" {
+			t.Fatalf("cell %s errored: %s", r.Key(), r.Err)
+		}
+	}
+	a, b := jsonl(t, serial), jsonl(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSONL differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestCellsStableOrder(t *testing.T) {
+	sp := testSpec(1)
+	cells := sp.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("len(cells) = %d, want 8", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+	}
+	// Seed-major: first 4 cells carry seed 7.
+	if cells[0].Seed != 7 || cells[3].Seed != 7 || cells[4].Seed != 8 {
+		t.Errorf("unexpected seed order: %v %v %v", cells[0].Seed, cells[3].Seed, cells[4].Seed)
+	}
+	if cells[0].Key() != "n=2/seed=7" {
+		t.Errorf("Key() = %q", cells[0].Key())
+	}
+}
+
+func TestResultSanity(t *testing.T) {
+	c := Run(testSpec(4))
+	for _, r := range c.Results {
+		if r.Samples == 0 {
+			t.Fatalf("%s: no samples", r.Key())
+		}
+		if r.Precision.N != r.Samples {
+			t.Errorf("%s: precision N %d != samples %d", r.Key(), r.Precision.N, r.Samples)
+		}
+		// Synchronized small clusters should be in the µs range.
+		if r.Precision.Mean <= 0 || r.Precision.Mean > 1e-3 {
+			t.Errorf("%s: implausible mean precision %g s", r.Key(), r.Precision.Mean)
+		}
+		if r.Events == 0 || r.SimS <= 0 {
+			t.Errorf("%s: missing throughput data (events=%d sim=%g)", r.Key(), r.Events, r.SimS)
+		}
+		if r.Sync.CSPsSent == 0 || r.CSPUse <= 0 {
+			t.Errorf("%s: no CSP traffic recorded", r.Key())
+		}
+	}
+}
+
+// TestCellPanicIsCaptured: a failing cell must not take down the
+// campaign — it lands as Result.Err and the gate reports it.
+func TestCellPanicIsCaptured(t *testing.T) {
+	sp := testSpec(2)
+	sp.Seeds = []uint64{7}
+	sp.Points = append(NodesAxis(2).Points, Point{
+		Label:  "bad",
+		Mutate: func(c *cluster.Config) { c.Nodes = 0 }, // cluster.New panics
+	})
+	c := Run(sp)
+	if c.Results[1].Err == "" {
+		t.Fatal("expected cell 1 to capture the construction panic")
+	}
+	if c.Results[0].Err != "" {
+		t.Fatalf("healthy cell errored: %s", c.Results[0].Err)
+	}
+	if len(c.Failed()) != 1 {
+		t.Fatalf("Failed() = %d, want 1", len(c.Failed()))
+	}
+	devs := c.Check(c.Golden(0))
+	if len(devs) != 1 || !strings.Contains(devs[0], "errored") {
+		t.Fatalf("Check should flag the errored cell, got %v", devs)
+	}
+}
+
+func TestGoldenRoundTripAndCheck(t *testing.T) {
+	sp := testSpec(4)
+	sp.Points = NodesAxis(2, 3).Points
+	sp.Seeds = []uint64{7}
+	c := Run(sp)
+
+	g := c.Golden(0)
+	if len(g.Cells) != 2 {
+		t.Fatalf("golden cells = %d, want 2", len(g.Cells))
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := g.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devs := c.Check(loaded); len(devs) != 0 {
+		t.Fatalf("self-check deviations: %v", devs)
+	}
+
+	// Perturb one statistic: the gate must catch it.
+	cell := c.Results[0].Key()
+	gc := loaded.Cells[cell]
+	gc.PrecisionMean *= 1.5
+	loaded.Cells[cell] = gc
+	devs := c.Check(loaded)
+	if len(devs) != 1 || !strings.Contains(devs[0], "precision_mean") {
+		t.Fatalf("expected one precision_mean deviation, got %v", devs)
+	}
+
+	// Grid drift in either direction is a deviation.
+	loaded.Cells[cell] = c.Golden(0).Cells[cell]
+	loaded.Cells["n=99/seed=7"] = GoldenCell{}
+	if devs := c.Check(loaded); len(devs) != 1 || !strings.Contains(devs[0], "not in campaign") {
+		t.Fatalf("expected missing-cell deviation, got %v", devs)
+	}
+	delete(loaded.Cells, "n=99/seed=7")
+	delete(loaded.Cells, cell)
+	if devs := c.Check(loaded); len(devs) != 1 || !strings.Contains(devs[0], "not in golden") {
+		t.Fatalf("expected not-in-golden deviation, got %v", devs)
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	sp := testSpec(2)
+	sp.Points = NodesAxis(2).Points
+	sp.Seeds = []uint64{7}
+	c := Run(sp)
+	dir := t.TempDir()
+	paths, err := c.WriteArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("artifacts = %v, want jsonl+csv+manifest", paths)
+	}
+	var csvBuf bytes.Buffer
+	if err := c.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 2 { // header + one cell
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,label,seed,precision_mean_s") {
+		t.Errorf("unexpected csv header %q", lines[0])
+	}
+	m := c.Manifest()
+	if m.Cells != 1 || m.Workers != 2 || m.GoVersion == "" {
+		t.Errorf("manifest incomplete: %+v", m)
+	}
+}
+
+func TestCrossAndAxes(t *testing.T) {
+	pts := Cross(NodesAxis(2, 4), LoadAxis(0, 0.3))
+	if len(pts) != 4 {
+		t.Fatalf("cross size = %d, want 4", len(pts))
+	}
+	if pts[1].Label != "n=2,load=30%" {
+		t.Errorf("label = %q", pts[1].Label)
+	}
+	if pts[1].Params["nodes"] != "2" || pts[1].Params["load"] != "0.3" {
+		t.Errorf("params = %v", pts[1].Params)
+	}
+	cfg := cluster.Defaults(8, 1)
+	pts[1].Mutate(&cfg)
+	if cfg.Nodes != 2 || cfg.BackgroundLoad != 0.3 {
+		t.Errorf("mutate: nodes=%d load=%g", cfg.Nodes, cfg.BackgroundLoad)
+	}
+	if Cross() != nil {
+		t.Error("empty cross should be nil")
+	}
+}
+
+// TestFaultAxisIsolation: FaultAxis mutators install fresh GPS maps per
+// call, so two cells built from the same base never share receiver
+// state.
+func TestFaultAxisIsolation(t *testing.T) {
+	ax := FaultAxis(2,
+		FaultScenario{Kind: gps.FaultOffset, Magnitude: 20e-3, StartS: 5},
+		FaultScenario{Kind: gps.FaultNone},
+	)
+	base := cluster.Defaults(4, 1)
+	a := base.Clone()
+	ax.Points[0].Mutate(&a)
+	b := base.Clone()
+	ax.Points[1].Mutate(&b)
+	if len(a.GPS[1].Faults) != 1 {
+		t.Fatalf("faulty cell lost its fault: %+v", a.GPS)
+	}
+	if len(b.GPS[1].Faults) != 0 {
+		t.Fatalf("fault leaked across cells: %+v", b.GPS)
+	}
+	if base.GPS != nil {
+		t.Fatal("base config was mutated")
+	}
+}

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -27,16 +28,22 @@ func (s *Series) Add(v float64) {
 // N returns the sample count.
 func (s *Series) N() int { return len(s.vals) }
 
+// sortNow sorts the sample slice in place once; Min/Max/Percentile all
+// read from the sorted slice instead of re-scanning per call.
+func (s *Series) sortNow() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
 // Min returns the smallest sample (0 when empty).
 func (s *Series) Min() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	m := s.vals[0]
-	for _, v := range s.vals[1:] {
-		m = math.Min(m, v)
-	}
-	return m
+	s.sortNow()
+	return s.vals[0]
 }
 
 // Max returns the largest sample (0 when empty).
@@ -44,11 +51,8 @@ func (s *Series) Max() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	m := s.vals[0]
-	for _, v := range s.vals[1:] {
-		m = math.Max(m, v)
-	}
-	return m
+	s.sortNow()
+	return s.vals[len(s.vals)-1]
 }
 
 // Mean returns the arithmetic mean (0 when empty).
@@ -87,10 +91,7 @@ func (s *Series) Percentile(p float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.vals)
-		s.sorted = true
-	}
+	s.sortNow()
 	i := int(p*float64(n-1) + 0.5)
 	if i < 0 {
 		i = 0
@@ -99,6 +100,42 @@ func (s *Series) Percentile(p float64) float64 {
 		i = n - 1
 	}
 	return s.vals[i]
+}
+
+// SeriesStats is a serializable summary of a Series. All values are in
+// the series' native unit (seconds for the harness' time series); JSON
+// consumers convert, rather than parsing pre-formatted µs strings.
+type SeriesStats struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+	Range  float64 `json:"range"`
+}
+
+// Stats computes the summary once (sorting at most once).
+func (s *Series) Stats() SeriesStats {
+	return SeriesStats{
+		N:      s.N(),
+		Min:    s.Min(),
+		Mean:   s.Mean(),
+		Stddev: s.Stddev(),
+		P50:    s.Percentile(0.50),
+		P90:    s.Percentile(0.90),
+		P99:    s.Percentile(0.99),
+		Max:    s.Max(),
+		Range:  s.Range(),
+	}
+}
+
+// MarshalJSON serializes the series as its Stats summary, so records
+// embedding a *Series round-trip without lossy string formatting.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Stats())
 }
 
 // Summary is a one-line description of the series in µs.

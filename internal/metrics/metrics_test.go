@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -147,5 +148,56 @@ func TestQuickSeriesInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSeriesStatsAndJSON: the serializable summary matches the scalar
+// accessors and round-trips through JSON without lossy formatting.
+func TestSeriesStatsAndJSON(t *testing.T) {
+	var s Series
+	for _, v := range []float64{3e-6, 1e-6, 2e-6, 5e-6, 4e-6} {
+		s.Add(v)
+	}
+	st := s.Stats()
+	if st.N != 5 || st.Min != 1e-6 || st.Max != 5e-6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Range != st.Max-st.Min {
+		t.Errorf("range = %g", st.Range)
+	}
+	if st.Mean != s.Mean() || st.P99 != s.Percentile(0.99) {
+		t.Errorf("stats disagree with accessors: %+v", st)
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SeriesStats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Errorf("JSON round-trip: got %+v, want %+v", back, st)
+	}
+
+	var empty Series
+	if es := empty.Stats(); es.N != 0 || es.Min != 0 || es.Max != 0 {
+		t.Errorf("empty stats = %+v", es)
+	}
+}
+
+// Min/Max after Add must reflect the new sample even though earlier
+// calls cached a sorted slice.
+func TestSeriesSortInvalidation(t *testing.T) {
+	var s Series
+	s.Add(2)
+	s.Add(1)
+	if s.Min() != 1 || s.Max() != 2 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	s.Add(0.5)
+	s.Add(3)
+	if s.Min() != 0.5 || s.Max() != 3 {
+		t.Errorf("after re-add: min/max = %g/%g", s.Min(), s.Max())
 	}
 }
