@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench campaign-check
+.PHONY: ci vet build test race bench bench-smoke campaign-check
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -21,6 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark exactly once (no timing
+# loop): a cheap CI guard that benchmark code doesn't rot.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # campaign-check runs the smoke campaign and gates it against the
 # committed golden file (regenerate with:

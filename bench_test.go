@@ -175,7 +175,7 @@ func BenchmarkClusterScaling(b *testing.B) {
 }
 
 func benchName(n int) string {
-	return "nodes-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+	return fmt.Sprintf("nodes-%02d", n)
 }
 
 // BenchmarkSnapshot measures the measurement path itself.

@@ -26,6 +26,7 @@ import (
 	"ntisim/internal/cluster"
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
+	"ntisim/internal/prof"
 )
 
 // preset bundles a grid with the sampling schedule that suits it.
@@ -107,6 +108,8 @@ func main() {
 		checkPath   = flag.String("check", "", "gate against this golden file (non-zero exit on deviation)")
 		writeGolden = flag.String("write-golden", "", "write/refresh the golden file from this run")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -152,7 +155,16 @@ func main() {
 		spec.Progress = os.Stderr
 	}
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	camp := harness.Run(spec)
+
+	if err := stopProf(); err != nil {
+		fatalf("%v", err)
+	}
 
 	tb := metrics.Table{Header: []string{"cell", "seed", "mean prec [µs]", "worst prec [µs]", "worst |C-t| [µs]", "width ±[µs]", "CSP use"}}
 	for i := range camp.Results {

@@ -57,6 +57,83 @@ type COMCO struct {
 
 	txFrames uint64
 	rxFrames uint64
+
+	// Pools for the per-word DMA transfers and the per-frame completion
+	// notification. Every received frame used to allocate one closure
+	// per header/data word (16+ per frame per receiver); pooled jobs
+	// with a prebuilt callback make the steady-state DMA timing model
+	// allocation-free without changing event times or counts.
+	freeJobs []*dmaJob
+	freeDone []*rxDone
+}
+
+// dmaJob is one pooled timed 32-bit DMA transfer: a read through the
+// NTI's decode logic into a transmit frame (tx), or a write of a
+// received word into NTI memory (rx).
+type dmaJob struct {
+	c    *COMCO
+	addr uint32
+	val  uint32 // rx: word to deposit
+	buf  []byte // tx: frame payload the read lands in
+	off  int
+	tx   bool
+	run  func()
+}
+
+func (j *dmaJob) fire() {
+	c := j.c
+	tx, addr, buf, off, val := j.tx, j.addr, j.buf, j.off, j.val
+	j.buf = nil
+	c.freeJobs = append(c.freeJobs, j) // release first: the access below may schedule more DMA
+	if tx {
+		binary.BigEndian.PutUint32(buf[off:], c.nti.COMCORead32(addr))
+	} else {
+		c.nti.COMCOWrite32(addr, val)
+	}
+}
+
+func (c *COMCO) allocJob() *dmaJob {
+	if n := len(c.freeJobs); n > 0 {
+		j := c.freeJobs[n-1]
+		c.freeJobs[n-1] = nil
+		c.freeJobs = c.freeJobs[:n-1]
+		return j
+	}
+	j := &dmaJob{c: c}
+	j.run = j.fire
+	return j
+}
+
+// rxDone is the pooled end-of-reception notification (the moment the
+// real chip would raise its interrupt).
+type rxDone struct {
+	c       *COMCO
+	base    uint32
+	length  int
+	corrupt bool
+	run     func()
+}
+
+func (d *rxDone) fire() {
+	c := d.c
+	base, length, corrupt := d.base, d.length, d.corrupt
+	c.freeDone = append(c.freeDone, d)
+	c.rxFrames++
+	if c.onRxStored != nil {
+		c.onRxStored(base, length, corrupt)
+	}
+}
+
+func (c *COMCO) allocDone() *rxDone {
+	if n := len(c.freeDone); n > 0 {
+		d := c.freeDone[n-1]
+		c.freeDone[n-1] = nil
+		c.freeDone = c.freeDone[:n-1]
+		return d
+	}
+	d := &rxDone{c: c}
+	d.run = d.fire
+	return d
 }
 
 // New creates a controller on the NTI's channel 0, attaching it to the
@@ -140,11 +217,12 @@ func (c *COMCO) fetchHeader(base uint32, payload []byte, acquiredAt float64) {
 			drained := float64(int(off)-c.cfg.TxFIFOBytes) * 8 / c.med.Bitrate()
 			t = acquiredAt + arb + preamble + drained
 		}
-		w := w
-		c.s.At(t, func() {
-			v := c.nti.COMCORead32(base + uint32(4*w))
-			binary.BigEndian.PutUint32(payload[4*w:], v)
-		})
+		j := c.allocJob()
+		j.tx = true
+		j.addr = base + off
+		j.buf = payload
+		j.off = int(off)
+		c.s.At(t, j.run)
 	}
 }
 
@@ -161,13 +239,12 @@ func (c *COMCO) FrameArrived(f network.Frame) {
 	base := nti.RxHeaderAddrCh(c.channel, slot)
 	arb := c.rng.Uniform(c.cfg.ArbMinS, c.cfg.ArbMaxS)
 	words := nti.HeaderSize / 4
-	hdr := make([]byte, nti.HeaderSize)
-	copy(hdr, f.Payload[:nti.HeaderSize])
 	for w := 0; w < words; w++ {
-		w := w
-		c.s.After(arb+float64(w)*c.cfg.DMAWordTimeS, func() {
-			c.nti.COMCOWrite32(base+uint32(4*w), binary.BigEndian.Uint32(hdr[4*w:]))
-		})
+		j := c.allocJob()
+		j.tx = false
+		j.addr = base + uint32(4*w)
+		j.val = binary.BigEndian.Uint32(f.Payload[4*w:])
+		c.s.After(arb+float64(w)*c.cfg.DMAWordTimeS, j.run)
 	}
 	// Payload beyond the header lands in the paired data-buffer slot
 	// (truncated to the slot size, like a real descriptor chain would
@@ -178,24 +255,25 @@ func (c *COMCO) FrameArrived(f network.Frame) {
 	}
 	if len(extra) > 0 {
 		dataBase := nti.DataSlotAddr(c.channel, slot)
-		buf := make([]byte, (len(extra)+3)/4*4)
-		copy(buf, extra)
-		for w := 0; w < len(buf)/4; w++ {
-			w := w
-			c.s.After(arb+float64(words+w)*c.cfg.DMAWordTimeS, func() {
-				c.nti.COMCOWrite32(dataBase+uint32(4*w), binary.BigEndian.Uint32(buf[4*w:]))
-			})
+		nw := (len(extra) + 3) / 4
+		for w := 0; w < nw; w++ {
+			j := c.allocJob()
+			j.tx = false
+			j.addr = dataBase + uint32(4*w)
+			if rest := extra[4*w:]; len(rest) >= 4 {
+				j.val = binary.BigEndian.Uint32(rest)
+			} else {
+				var tail [4]byte // final partial word, zero-padded
+				copy(tail[:], rest)
+				j.val = binary.BigEndian.Uint32(tail[:])
+			}
+			c.s.After(arb+float64(words+w)*c.cfg.DMAWordTimeS, j.run)
 		}
-		words += len(buf) / 4
+		words += nw
 	}
-	length := len(f.Payload)
-	corrupt := f.Corrupt
-	c.s.After(arb+float64(words)*c.cfg.DMAWordTimeS, func() {
-		c.rxFrames++
-		if c.onRxStored != nil {
-			c.onRxStored(base, length, corrupt)
-		}
-	})
+	d := c.allocDone()
+	d.base, d.length, d.corrupt = base, len(f.Payload), f.Corrupt
+	c.s.After(arb+float64(words)*c.cfg.DMAWordTimeS, d.run)
 }
 
 // Stats reports frames transmitted and stored.

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"ntisim/internal/metrics"
 )
@@ -49,9 +50,14 @@ func (r *Result) Fprint(w io.Writer) {
 		}
 	}
 	fmt.Fprintln(w)
-	for name, ok := range r.Claims {
+	names := make([]string, 0, len(r.Claims))
+	for name := range r.Claims {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order is randomized; tables must be stable
+	for _, name := range names {
 		status := "OK"
-		if !ok {
+		if !r.Claims[name] {
 			status = "FAILED"
 		}
 		fmt.Fprintf(w, "claim %-40s %s\n", name, status)

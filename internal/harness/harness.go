@@ -170,9 +170,13 @@ type Result struct {
 	// simulated span. Together with WallS they give throughput.
 	Events uint64  `json:"events"`
 	SimS   float64 `json:"sim_s"`
-	// WallS is excluded from JSON: it varies run-to-run and would break
-	// artifact determinism. Use Throughput for reporting.
+	// WallS and EventsPerWallS are excluded from JSON: they vary
+	// run-to-run and would break artifact determinism. Use Throughput
+	// (or the progress stream) for reporting.
 	WallS float64 `json:"-"`
+	// EventsPerWallS is kernel event throughput — fired events per
+	// wall-clock second — the profiling hook for event-queue work.
+	EventsPerWallS float64 `json:"-"`
 
 	Err string `json:"error,omitempty"`
 
@@ -232,36 +236,24 @@ func Run(spec Spec) *Campaign {
 	camp := &Campaign{Spec: sp, Results: make([]Result, len(cells)), Workers: sp.Workers}
 
 	start := time.Now()
-	work := make(chan Cell)
-	var wg sync.WaitGroup
 	var mu sync.Mutex // progress writer + completion counter
 	done := 0
-	for w := 0; w < sp.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cell := range work {
-				r := runCell(&sp, cell)
-				camp.Results[cell.Index] = r
-				if sp.Progress != nil {
-					mu.Lock()
-					done++
-					status := fmt.Sprintf("prec(mean)=%sµs", metrics.Us(r.Precision.Mean))
-					if r.Err != "" {
-						status = "ERROR: " + r.Err
-					}
-					fmt.Fprintf(sp.Progress, "[%*d/%d] %-28s %s (%.2fs wall, %.0f sim-s/s)\n",
-						digits(len(cells)), done, len(cells), cell.Key(), status, r.WallS, r.Throughput())
-					mu.Unlock()
-				}
+	ForEach(sp.Workers, len(cells), func(i int) {
+		cell := cells[i]
+		r := runCell(&sp, cell)
+		camp.Results[cell.Index] = r
+		if sp.Progress != nil {
+			mu.Lock()
+			done++
+			status := fmt.Sprintf("prec(mean)=%sµs", metrics.Us(r.Precision.Mean))
+			if r.Err != "" {
+				status = "ERROR: " + r.Err
 			}
-		}()
-	}
-	for _, cell := range cells {
-		work <- cell
-	}
-	close(work)
-	wg.Wait()
+			fmt.Fprintf(sp.Progress, "[%*d/%d] %-28s %s (%.2fs wall, %.0f sim-s/s, %.0f ev/s)\n",
+				digits(len(cells)), done, len(cells), cell.Key(), status, r.WallS, r.Throughput(), r.EventsPerWallS)
+			mu.Unlock()
+		}
+	})
 	camp.WallS = time.Since(start).Seconds()
 	return camp
 }
@@ -274,6 +266,9 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	wallStart := time.Now()
 	defer func() {
 		res.WallS = time.Since(wallStart).Seconds()
+		if res.WallS > 0 {
+			res.EventsPerWallS = float64(res.Events) / res.WallS
+		}
 		if p := recover(); p != nil {
 			res.Err = fmt.Sprint(p)
 		}

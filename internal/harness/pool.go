@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs task(0..n-1) across a pool of workers goroutines and
+// returns when all tasks have completed. workers <= 0 sizes the pool to
+// GOMAXPROCS. Tasks must be independent and should write their results
+// into index-addressed storage — the discipline that keeps output
+// deterministic regardless of scheduling order (campaign cells in Run,
+// experiment tables in cmd/ntibench).
+func ForEach(workers, n int, task func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

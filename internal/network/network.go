@@ -77,6 +77,25 @@ type pendingTx struct {
 	onAcquired func(at float64)
 }
 
+// delivery is one pooled in-flight reception: the frame copy bound for
+// one station plus a callback closed over the delivery itself, created
+// once when the object enters the pool. Reusing deliveries keeps the
+// per-station fan-out of a broadcast allocation-free.
+type delivery struct {
+	m   *Medium
+	st  Station
+	f   Frame
+	run func()
+}
+
+func (d *delivery) deliver() {
+	st, f := d.st, d.f
+	d.st = nil
+	d.f = Frame{}
+	d.m.freeDeliv = append(d.m.freeDeliv, d)
+	st.FrameArrived(f)
+}
+
 // SetPartitioned severs the medium: while partitioned, frames are still
 // transmitted (the sender's COMCO behaves normally, triggers included)
 // but reach no station — a cable fault or switch outage. Queued and
@@ -90,11 +109,21 @@ type Medium struct {
 	rng         *sim.RNG
 	stations    []Station
 	queue       []pendingTx
+	head        int // queue[:head] already consumed (ring reuse)
 	busy        bool
 	partitioned bool
 	sent        uint64
 	dropped     uint64
 	bgStop      func()
+
+	// cur is the transmission currently waiting out arbitration; the
+	// prebuilt method values let the hot path schedule without
+	// allocating a closure per frame.
+	cur         pendingTx
+	transmitFn  func()
+	startNextFn func()
+	freeDeliv   []*delivery
+	bgPayload   []byte
 }
 
 // NewMedium attaches a broadcast bus to the simulator.
@@ -111,7 +140,10 @@ func NewMedium(s *sim.Simulator, cfg MediumConfig) *Medium {
 	if cfg.PropDelayS < 0 {
 		panic("network: negative propagation delay")
 	}
-	return &Medium{s: s, cfg: cfg, rng: s.RNG("medium")}
+	m := &Medium{s: s, cfg: cfg, rng: s.RNG("medium")}
+	m.transmitFn = m.transmitCur
+	m.startNextFn = m.startNext
+	return m
 }
 
 // Attach registers a station and returns its id.
@@ -144,13 +176,25 @@ func (m *Medium) Send(f Frame, onAcquired func(at float64)) {
 }
 
 func (m *Medium) startNext() {
-	if len(m.queue) == 0 {
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0] // reuse the backing array
+		m.head = 0
 		m.busy = false
 		return
 	}
 	m.busy = true
-	tx := m.queue[0]
-	m.queue = m.queue[1:]
+	tx := m.queue[m.head]
+	m.queue[m.head] = pendingTx{}
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	} else if m.head >= 64 && m.head >= len(m.queue)/2 {
+		// Sustained backlog: reclaim the consumed prefix so the backing
+		// array stays bounded (amortized O(1) per frame).
+		m.queue = append(m.queue[:0], m.queue[m.head:]...)
+		m.head = 0
+	}
 	// Medium-access uncertainty: arbitration adds bounded random delay
 	// when there was contention; an idle medium is acquired immediately
 	// after the interframe gap.
@@ -158,10 +202,30 @@ func (m *Medium) startNext() {
 	if m.cfg.AccessJitterS > 0 && tx.frame.RequestedAt < m.s.Now() {
 		delay += m.rng.Uniform(0, m.cfg.AccessJitterS)
 	}
-	m.s.After(delay, func() { m.transmit(tx) })
+	m.cur = tx
+	m.s.After(delay, m.transmitFn)
 }
 
-func (m *Medium) transmit(tx pendingTx) {
+// allocDelivery takes a delivery from the pool, binding its callback
+// once on first allocation.
+func (m *Medium) allocDelivery() *delivery {
+	if n := len(m.freeDeliv); n > 0 {
+		d := m.freeDeliv[n-1]
+		m.freeDeliv[n-1] = nil
+		m.freeDeliv = m.freeDeliv[:n-1]
+		return d
+	}
+	d := &delivery{m: m}
+	d.run = d.deliver
+	return d
+}
+
+// transmitCur serializes the transmission parked in m.cur. The FIFO
+// arbitration admits one transmission at a time (m.busy), so a single
+// slot suffices and the whole path schedules only prebuilt callbacks.
+func (m *Medium) transmitCur() {
+	tx := m.cur
+	m.cur = pendingTx{}
 	start := m.s.Now()
 	if tx.onAcquired != nil {
 		tx.onAcquired(start)
@@ -172,7 +236,7 @@ func (m *Medium) transmit(tx pendingTx) {
 	end := start + dur
 	if m.partitioned {
 		m.sent++
-		m.s.At(end, m.startNext)
+		m.s.At(end, m.startNextFn)
 		return
 	}
 	// Deliver to every other station at frame end + propagation.
@@ -183,17 +247,18 @@ func (m *Medium) transmit(tx pendingTx) {
 		if f.Dst != Broadcast && f.Dst != id {
 			continue
 		}
-		df := f
-		df.DeliveredAt = end + m.cfg.PropDelayS
-		df.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)
-		if df.Corrupt {
+		d := m.allocDelivery()
+		d.st = st
+		d.f = f
+		d.f.DeliveredAt = end + m.cfg.PropDelayS
+		d.f.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)
+		if d.f.Corrupt {
 			m.dropped++
 		}
-		st := st
-		m.s.At(df.DeliveredAt, func() { st.FrameArrived(df) })
+		m.s.At(d.f.DeliveredAt, d.run)
 	}
 	m.sent++
-	m.s.At(end, m.startNext)
+	m.s.At(end, m.startNextFn)
 }
 
 // Stats returns frames transmitted and deliveries corrupted.
@@ -217,29 +282,32 @@ func (m *Medium) StartBackgroundLoad(utilization float64, meanBytes int) {
 	rng := m.s.RNG("bgload")
 	meanDur := m.FrameDuration(meanBytes)
 	meanGap := meanDur / utilization
-	var schedule func()
+	if m.bgPayload == nil {
+		// Background frames reach no station (Dst -3 matches nobody) —
+		// only their length occupies the bus — so every frame can slice
+		// one shared scratch buffer instead of allocating a payload.
+		m.bgPayload = make([]byte, 1500)
+	}
 	stopped := false
-	schedule = func() {
+	var emit func()
+	emit = func() {
 		if stopped {
 			return
 		}
-		gap := rng.Exponential(meanGap)
-		m.s.After(gap, func() {
-			if stopped {
-				return
-			}
-			n := int(rng.Exponential(float64(meanBytes)))
-			if n < 64 {
-				n = 64
-			}
-			if n > 1500 {
-				n = 1500
-			}
-			m.Send(Frame{Src: -2, Dst: -3, Payload: make([]byte, n)}, nil)
-			schedule()
-		})
+		n := int(rng.Exponential(float64(meanBytes)))
+		if n < 64 {
+			n = 64
+		}
+		if n > 1500 {
+			n = 1500
+		}
+		m.Send(Frame{Src: -2, Dst: -3, Payload: m.bgPayload[:n]}, nil)
+		if stopped {
+			return
+		}
+		m.s.After(rng.Exponential(meanGap), emit)
 	}
-	schedule()
+	m.s.After(rng.Exponential(meanGap), emit)
 	m.bgStop = func() { stopped = true }
 }
 

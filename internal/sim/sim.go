@@ -3,44 +3,77 @@
 // Events carry a firing time in simulated "true" seconds (float64; see
 // DESIGN.md §4 for the precision argument) and fire in time order, with
 // insertion order breaking ties so runs are reproducible bit-for-bit.
+//
+// Scheduling is allocation-free in steady state: Event storage comes
+// from a per-simulator free list and is recycled once an event has fired
+// or a cancelled event has drained from the queue (see queue.go for the
+// pending-event-set layout). A handle therefore identifies one
+// scheduling only — once the event has fired, Cancel and Pending on the
+// retained handle are no-ops at best and may observe a recycled
+// scheduling. Callers that cache handles across firings must clear them
+// when the callback runs (every retention site in this repository does;
+// Ticker manages its own handle the same way).
 package sim
 
-import (
-	"container/heap"
-	"fmt"
+import "fmt"
+
+// Event lifecycle states. A pooled Event cycles
+// free → pending → (firing|cancelled) → free.
+const (
+	stateFree uint8 = iota
+	statePending
+	stateFiring
+	stateCancelled
 )
+
+// compactFloor is the minimum tombstone count before Cancel considers
+// compacting the queue; below it, lazy pop-time skipping is cheaper than
+// re-heapifying.
+const compactFloor = 64
 
 // Event is a scheduled callback. The Cancel method of the returned handle
 // prevents a pending event from firing.
 type Event struct {
-	at    float64
-	seq   uint64
 	fn    func()
-	index int // heap index, -1 once fired or cancelled
 	owner *Simulator
+	idx   uint32 // position in owner.events, stable for the Event's lifetime
+	state uint8
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The cancelled entry stays in the
+// queue as an O(1) tombstone and is recycled when it surfaces at pop
+// time (or at the next compaction).
 func (e *Event) Cancel() {
-	if e != nil && e.index >= 0 && e.owner != nil {
-		heap.Remove(&e.owner.queue, e.index)
-		e.index = -1
+	if e == nil || e.state != statePending {
+		return
+	}
+	e.state = stateCancelled
+	s := e.owner
+	s.tombstones++
+	if s.tombstones >= compactFloor && s.tombstones > len(s.queue)/2 {
+		s.compact()
 	}
 }
 
 // Pending reports whether the event is still scheduled.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+func (e *Event) Pending() bool { return e != nil && e.state == statePending }
 
 // Simulator owns the event queue and the current simulated time.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now   float64
 	seq   uint64
-	queue eventQueue
+	queue []node
 	root  *RNG
 	limit float64 // horizon; 0 = none
 	fired uint64
+
+	// events is the arena the queue's pointer-free nodes index into;
+	// free lists the recycled entries ready for reuse.
+	events     []*Event
+	free       []*Event
+	tombstones int
 }
 
 // New creates a Simulator whose stochastic components derive their RNG
@@ -58,15 +91,39 @@ func (s *Simulator) RNG(label string) *RNG { return s.root.Derive(label) }
 // EventCount returns the number of events fired so far (for diagnostics).
 func (s *Simulator) EventCount() uint64 { return s.fired }
 
+// alloc takes an Event from the free list, growing the arena only when
+// the list is empty (steady state never grows it).
+func (s *Simulator) alloc(fn func()) *Event {
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{owner: s, idx: uint32(len(s.events))}
+		s.events = append(s.events, e)
+	}
+	e.fn = fn
+	e.state = statePending
+	return e
+}
+
+// release returns a fired or drained-cancelled Event to the free list.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	e.state = stateFree
+	s.free = append(s.free, e)
+}
+
 // At schedules fn to run at absolute time t (which must not be in the
 // past) and returns a cancellable handle.
 func (s *Simulator) At(t float64, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, s.now))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	e := s.alloc(fn)
+	s.pushNode(node{at: t, seq: s.seq, idx: e.idx})
 	s.seq++
-	heap.Push(&s.queue, e)
 	return e
 }
 
@@ -78,6 +135,18 @@ func (s *Simulator) After(d float64, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// rearm re-pushes a currently-firing event at absolute time t, reusing
+// its storage. Only legal from within the event's own callback (Ticker
+// uses it to reschedule without allocating).
+func (s *Simulator) rearm(e *Event, t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, s.now))
+	}
+	e.state = statePending
+	s.pushNode(node{at: t, seq: s.seq, idx: e.idx})
+	s.seq++
+}
+
 // Every schedules fn every period seconds starting at start, until the
 // returned handle is cancelled. fn sees the simulator clock already
 // advanced to its firing time.
@@ -87,7 +156,8 @@ func (s *Simulator) Every(start, period float64, fn func()) *Ticker {
 	return t
 }
 
-// Ticker is a repeating event created by Every.
+// Ticker is a repeating event created by Every. It owns a single pooled
+// Event that is re-pushed in place every period.
 type Ticker struct {
 	sim    *Simulator
 	period float64
@@ -101,30 +171,46 @@ func (t *Ticker) fire() {
 		return
 	}
 	t.fn()
-	if !t.done { // fn may have stopped us
-		t.ev = t.sim.After(t.period, t.fire)
+	if t.done { // fn may have stopped us
+		t.ev = nil
+		return
 	}
+	t.sim.rearm(t.ev, t.sim.now+t.period)
 }
 
-// Stop cancels future firings.
+// Stop cancels future firings. Stopping an already-stopped ticker, or
+// stopping from within the callback, is safe.
 func (t *Ticker) Stop() {
 	t.done = true
-	t.ev.Cancel()
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
 }
 
 // Run processes events until the queue is empty or the horizon set by
 // RunUntil is reached. It returns the time of the last fired event.
 func (s *Simulator) Run() float64 {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		e.index = -1
-		if s.limit > 0 && e.at > s.limit {
+		n := s.popNode()
+		e := s.events[n.idx]
+		if e.state == stateCancelled {
+			s.tombstones--
+			s.release(e)
+			continue
+		}
+		if s.limit > 0 && n.at > s.limit {
 			s.now = s.limit
+			s.release(e)
 			return s.now
 		}
-		s.now = e.at
+		s.now = n.at
 		s.fired++
+		e.state = stateFiring
 		e.fn()
+		if e.state == stateFiring { // not re-armed by its own callback
+			s.release(e)
+		}
 	}
 	return s.now
 }
@@ -135,43 +221,23 @@ func (s *Simulator) RunUntil(horizon float64) float64 {
 	s.limit = horizon
 	defer func() { s.limit = 0 }()
 	for len(s.queue) > 0 && s.queue[0].at <= horizon {
-		e := heap.Pop(&s.queue).(*Event)
-		e.index = -1
-		s.now = e.at
+		n := s.popNode()
+		e := s.events[n.idx]
+		if e.state == stateCancelled {
+			s.tombstones--
+			s.release(e)
+			continue
+		}
+		s.now = n.at
 		s.fired++
+		e.state = stateFiring
 		e.fn()
+		if e.state == stateFiring {
+			s.release(e)
+		}
 	}
 	if s.now < horizon {
 		s.now = horizon
 	}
 	return s.now
-}
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
 }

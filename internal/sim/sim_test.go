@@ -271,19 +271,74 @@ func TestQuickEventOrder(t *testing.T) {
 	}
 }
 
+// BenchmarkEventQueue measures the pending-event set under the three
+// steady-state workloads: a pure schedule→fire chain, a ticker re-push
+// loop, and a schedule/cancel mix that exercises the tombstone path.
+// All three must report 0 allocs/op (the pool regression tests in
+// events_test.go pin the same property).
 func BenchmarkEventQueue(b *testing.B) {
-	s := New(1)
-	r := s.RNG("bench")
-	var fn func()
-	n := 0
-	fn = func() {
-		n++
-		if n < b.N {
+	b.Run("fire", func(b *testing.B) {
+		s := New(1)
+		r := s.RNG("bench")
+		var fn func()
+		n := 0
+		fn = func() {
+			n++
+			if n < b.N {
+				s.After(r.Float64(), fn)
+			}
+		}
+		b.ReportAllocs()
+		if b.N > 0 {
+			s.After(0, fn)
+		}
+		s.Run()
+	})
+	b.Run("fire-fanout", func(b *testing.B) {
+		// 64 events pending at all times: deeper heap, same chain.
+		s := New(1)
+		r := s.RNG("bench")
+		var fn func()
+		n := 0
+		fn = func() {
+			n++
+			if n < b.N {
+				s.After(1+r.Float64(), fn)
+			}
+		}
+		for i := 0; i < 64 && i < b.N; i++ {
 			s.After(r.Float64(), fn)
 		}
-	}
-	if b.N > 0 {
-		s.After(0, fn)
-	}
-	s.Run()
+		b.ReportAllocs()
+		s.Run()
+	})
+	b.Run("ticker", func(b *testing.B) {
+		s := New(1)
+		n := 0
+		s.Every(1, 1, func() { n++ })
+		b.ReportAllocs()
+		s.RunUntil(float64(b.N))
+	})
+	b.Run("schedule-cancel", func(b *testing.B) {
+		s := New(1)
+		r := s.RNG("bench")
+		cb := func() {}
+		var fn func()
+		n := 0
+		fn = func() {
+			n++
+			if n < b.N {
+				// One survivor chains the benchmark; one victim is
+				// tombstoned immediately.
+				victim := s.After(2+r.Float64(), cb)
+				s.After(r.Float64(), fn)
+				victim.Cancel()
+			}
+		}
+		b.ReportAllocs()
+		if b.N > 0 {
+			s.After(0, fn)
+		}
+		s.Run()
+	})
 }
