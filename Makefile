@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke campaign-check
+.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -32,3 +32,20 @@ bench-smoke:
 #   go run ./cmd/nticampaign -preset smoke -write-golden cmd/nticampaign/testdata/smoke.golden.json)
 campaign-check:
 	$(GO) run ./cmd/nticampaign -preset smoke -q -check cmd/nticampaign/testdata/smoke.golden.json
+
+# report-smoke runs the smoke preset under 3 seeds, renders the
+# Markdown+SVG report and byte-diffs it against the committed golden:
+# the report pipeline (harness → stats → report) is deterministic end
+# to end, so any diff is a real behavior change. Regenerate after an
+# intentional change with `make report-golden`.
+report-smoke:
+	rm -rf build/report-smoke
+	$(GO) run ./cmd/nticampaign -preset smoke -seeds 3 -q -out build/report-smoke >/dev/null
+	$(GO) run ./cmd/ntireport -in build/report-smoke -out build/report-smoke/report.md
+	diff -u cmd/ntireport/testdata/smoke.report.golden.md build/report-smoke/report.md
+
+# report-golden refreshes the committed smoke report golden.
+report-golden:
+	rm -rf build/report-smoke
+	$(GO) run ./cmd/nticampaign -preset smoke -seeds 3 -q -out build/report-smoke >/dev/null
+	$(GO) run ./cmd/ntireport -in build/report-smoke -out cmd/ntireport/testdata/smoke.report.golden.md

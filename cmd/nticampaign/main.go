@@ -9,11 +9,20 @@
 //
 //	nticampaign -list                        # available presets
 //	nticampaign -preset matrix -out artifacts/
+//	nticampaign -preset smoke -seeds 3 -report report.md
 //	nticampaign -preset smoke -check testdata/smoke.golden.json
 //	nticampaign -preset smoke -write-golden testdata/smoke.golden.json
+//	nticampaign -refine load=2e-6            # bisect load until mean
+//	                                         # precision crosses 2 µs
 //
 // Golden files are regenerated with -write-golden after an intentional
 // behavior change and committed; -check then gates CI against them.
+// -seeds N runs every preset point under N consecutive seeds (derived
+// from -seed) so reports can attach confidence intervals; -report
+// renders the run through internal/report. -refine axis=target
+// replaces the preset grid with adaptive bisection of one numeric axis
+// (load|period|fosc|nodes) until the mean-precision crossover of
+// target is bracketed to -refine-tol.
 package main
 
 import (
@@ -21,12 +30,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ntisim/internal/cluster"
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 	"ntisim/internal/prof"
+	"ntisim/internal/report"
+	"ntisim/internal/stats"
 )
 
 // preset bundles a grid with the sampling schedule that suits it.
@@ -91,6 +103,54 @@ func presetChoices() string {
 	return strings.Join(names, "|")
 }
 
+func refineChoices() string {
+	var names []string
+	for n := range harness.StandardNumericAxes() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+// runRefine executes adaptive bisection of one numeric axis until the
+// mean-precision crossover of target is bracketed, printing every
+// evaluation and the final bracket. It reports whether the crossover
+// was bracketed.
+func runRefine(spec harness.Spec, arg string, tol float64) bool {
+	name, targetStr, ok := strings.Cut(arg, "=")
+	if !ok {
+		fatalf("-refine wants axis=target (e.g. load=2e-6), got %q", arg)
+	}
+	ax, axOK := harness.StandardNumericAxes()[name]
+	if !axOK {
+		fatalf("unknown refine axis %q (choices: %s)", name, refineChoices())
+	}
+	target, err := strconv.ParseFloat(targetStr, 64)
+	if err != nil {
+		fatalf("bad refine target %q: %v", targetStr, err)
+	}
+	if tol <= 0 {
+		tol = (ax.Hi - ax.Lo) / 64
+	}
+
+	r := harness.Refine(spec, ax, target, tol, nil)
+
+	tb := metrics.Table{Header: []string{name, "mean prec [µs]", "cells"}}
+	for _, e := range r.Evals {
+		tb.AddRow(fmt.Sprintf("%g", e.Value), metrics.Us(e.Metric), fmt.Sprint(len(e.Results)))
+	}
+	tb.Fprint(os.Stdout)
+	if !r.Bracketed {
+		fmt.Printf("\nno crossover of %sµs inside %s ∈ [%g, %g] (metric %s..%sµs)\n",
+			metrics.Us(target), name, ax.Lo, ax.Hi, metrics.Us(r.Lo.Metric), metrics.Us(r.Hi.Metric))
+		return false
+	}
+	fmt.Printf("\ncrossover of %sµs bracketed: %s ∈ [%g, %g] (width %g ≤ tol %g), metric %sµs → %sµs, %d evaluations\n",
+		metrics.Us(target), name, r.Lo.Value, r.Hi.Value, r.Hi.Value-r.Lo.Value, tol,
+		metrics.Us(r.Lo.Metric), metrics.Us(r.Hi.Metric), len(r.Evals))
+	return true
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "nticampaign: "+format+"\n", args...)
 	os.Exit(1)
@@ -107,6 +167,9 @@ func main() {
 		outDir      = flag.String("out", "", "write JSONL/CSV/manifest artifacts into this directory")
 		checkPath   = flag.String("check", "", "gate against this golden file (non-zero exit on deviation)")
 		writeGolden = flag.String("write-golden", "", "write/refresh the golden file from this run")
+		reportPath  = flag.String("report", "", "write a Markdown+SVG report of this run to this file")
+		refine      = flag.String("refine", "", "adaptive refinement instead of the preset grid: axis=target, e.g. load=2e-6 (axes: "+refineChoices()+")")
+		refineTol   = flag.Float64("refine-tol", 0, "axis tolerance for -refine (default: range/64)")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -160,23 +223,37 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if *refine != "" {
+		ok := runRefine(spec, *refine, *refineTol)
+		if err := stopProf(); err != nil {
+			fatalf("%v", err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
 	camp := harness.Run(spec)
 
 	if err := stopProf(); err != nil {
 		fatalf("%v", err)
 	}
 
+	// Rows grouped by point (all seeds of a point adjacent), the same
+	// ordering reports aggregate over.
 	tb := metrics.Table{Header: []string{"cell", "seed", "mean prec [µs]", "worst prec [µs]", "worst |C-t| [µs]", "width ±[µs]", "CSP use"}}
-	for i := range camp.Results {
-		r := &camp.Results[i]
-		if r.Err != "" {
-			tb.AddRow(r.Label, fmt.Sprint(r.Seed), "error", r.Err, "", "", "")
-			continue
+	for _, g := range harness.GroupByPoint(camp.Results) {
+		for _, r := range g.Results {
+			if r.Err != "" {
+				tb.AddRow(r.Label, fmt.Sprint(r.Seed), "error", r.Err, "", "", "")
+				continue
+			}
+			tb.AddRow(r.Label, fmt.Sprint(r.Seed),
+				metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max),
+				metrics.Us(r.Accuracy.Max), metrics.Us(r.Width.Mean),
+				fmt.Sprintf("%.1f%%", 100*r.CSPUse))
 		}
-		tb.AddRow(r.Label, fmt.Sprint(r.Seed),
-			metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max),
-			metrics.Us(r.Accuracy.Max), metrics.Us(r.Width.Mean),
-			fmt.Sprintf("%.1f%%", 100*r.CSPUse))
 	}
 	tb.Fprint(os.Stdout)
 	fmt.Printf("\n%d cells, %.0f sim-s total in %.2fs wall (%.0f sim-s/s, %d workers)\n",
@@ -188,6 +265,20 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("artifacts: %s\n", strings.Join(paths, ", "))
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := report.Generate(f, spec.Name, camp.Results, stats.Options{}); err != nil {
+			f.Close()
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("report: %s\n", *reportPath)
 	}
 	if *writeGolden != "" {
 		if err := camp.Golden(harness.DefaultTolerance).Write(*writeGolden); err != nil {

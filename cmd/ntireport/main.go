@@ -1,0 +1,95 @@
+// Command ntireport renders campaign JSONL artifacts into a
+// deterministic Markdown report with embedded SVG plots: per-point
+// statistics aggregated across seeds with 95% confidence intervals
+// (Student-t and bootstrap), a Welch cross-point comparison, and one
+// line/band/scatter chart per numeric sweep axis.
+//
+// Usage:
+//
+//	ntireport -in artifacts/             # every *.jsonl in the directory
+//	ntireport -in artifacts/campaign-smoke.jsonl -out report.md
+//
+// Reports carry no wall-clock or environment metadata and all numeric
+// formatting is fixed-precision, so the same artifacts always produce
+// byte-identical output — CI golden-gates the smoke report with
+// `make report-smoke`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ntisim/internal/report"
+	"ntisim/internal/stats"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ntireport: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "JSONL artifact file, or a directory of *.jsonl artifacts (required)")
+		out       = flag.String("out", "", "output Markdown file (default stdout)")
+		bootstrap = flag.Int("bootstrap", 1000, "bootstrap resamples for CIs (negative disables)")
+		converged = flag.Float64("converged-below", 5e-6, "precision threshold [s] defining convergence time on timeline artifacts")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ntireport: -in is required (artifact file or directory)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var paths []string
+	if fi, err := os.Stat(*in); err != nil {
+		fatalf("%v", err)
+	} else if fi.IsDir() {
+		paths, err = report.FindJSONL(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(paths) == 0 {
+			fatalf("no *.jsonl artifacts in %s", *in)
+		}
+	} else {
+		paths = []string{*in}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+		w = f
+	}
+
+	opt := stats.Options{Bootstrap: *bootstrap, ConvergedBelowS: *converged}
+	for i, p := range paths {
+		results, err := report.LoadJSONL(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if i > 0 {
+			fmt.Fprintf(w, "\n---\n\n")
+		}
+		title := strings.TrimSuffix(filepath.Base(p), ".jsonl")
+		if err := report.Generate(w, title, results, opt); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "ntireport: wrote %s (%d campaign(s))\n", *out, len(paths))
+	}
+}

@@ -1,0 +1,49 @@
+// Multi-seed grouping: the bridge between the flat cell-ordered result
+// slice and per-point statistics. internal/stats aggregates over these
+// groups; internal/report plots them.
+
+package harness
+
+// Group collects one grid point's results across all seeds it ran
+// under. Results point into the slice passed to GroupByPoint.
+type Group struct {
+	Label  string
+	Params map[string]string
+	// Results holds the point's cells in ascending seed-grid order
+	// (the order Spec.Cells enumerates seeds).
+	Results []*Result
+}
+
+// GroupByPoint groups a campaign's results by point label. Groups are
+// ordered by first appearance in the input, which for harness.Run
+// output (seed-major grid order) is exactly Spec.Points order; within a
+// group, results keep their grid order, i.e. ascending seed position.
+// Both orders are stable guarantees — golden-gated reports depend on
+// them.
+func GroupByPoint(results []Result) []Group {
+	idx := make(map[string]int, len(results))
+	var groups []Group
+	for i := range results {
+		r := &results[i]
+		j, ok := idx[r.Label]
+		if !ok {
+			j = len(groups)
+			idx[r.Label] = j
+			groups = append(groups, Group{Label: r.Label, Params: r.Params})
+		}
+		groups[j].Results = append(groups[j].Results, r)
+	}
+	return groups
+}
+
+// Seeds returns the seeds of the group's non-errored results, in group
+// order.
+func (g *Group) Seeds() []uint64 {
+	var out []uint64
+	for _, r := range g.Results {
+		if r.Err == "" {
+			out = append(out, r.Seed)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+// TestGroupByPointOrdering pins the two ordering guarantees reports
+// rely on: groups appear in Spec.Points order (first appearance in the
+// seed-major grid) and results within a group keep ascending seed-grid
+// order.
+func TestGroupByPointOrdering(t *testing.T) {
+	sp := testSpec(1)
+	cells := sp.Cells() // 4 points × seeds {7, 8}, seed-major
+	results := make([]Result, len(cells))
+	for i, c := range cells {
+		results[i] = Result{Cell: c.Index, Label: c.Point.Label, Seed: c.Seed, Params: c.Point.Params}
+	}
+
+	groups := GroupByPoint(results)
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d, want 4", len(groups))
+	}
+	wantLabels := []string{"n=2", "n=3", "n=4", "n=5"}
+	for i, g := range groups {
+		if g.Label != wantLabels[i] {
+			t.Errorf("group %d label = %q, want %q", i, g.Label, wantLabels[i])
+		}
+		if len(g.Results) != 2 {
+			t.Fatalf("group %q has %d results, want 2", g.Label, len(g.Results))
+		}
+		if g.Results[0].Seed != 7 || g.Results[1].Seed != 8 {
+			t.Errorf("group %q seed order = %d,%d, want 7,8",
+				g.Label, g.Results[0].Seed, g.Results[1].Seed)
+		}
+		if got := g.Seeds(); len(got) != 2 || got[0] != 7 || got[1] != 8 {
+			t.Errorf("group %q Seeds() = %v", g.Label, got)
+		}
+		if g.Params["nodes"] == "" {
+			t.Errorf("group %q lost params", g.Label)
+		}
+	}
+
+	// Results must point into the input slice, not copies.
+	groups[0].Results[0].Err = "marker"
+	if results[0].Err != "marker" {
+		t.Error("group results are copies, want pointers into the input")
+	}
+	if got := groups[0].Seeds(); len(got) != 1 || got[0] != 8 {
+		t.Errorf("Seeds() should skip errored results, got %v", got)
+	}
+}
+
+func TestGroupByPointEmpty(t *testing.T) {
+	if g := GroupByPoint(nil); g != nil {
+		t.Errorf("GroupByPoint(nil) = %v, want nil", g)
+	}
+}

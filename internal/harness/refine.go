@@ -1,0 +1,134 @@
+// Adaptive grid refinement: instead of sweeping a fixed axis grid,
+// bisect one numeric parameter until a target metric crossover (e.g.
+// mean precision crossing 1 µs) is bracketed to a requested axis
+// tolerance. Every evaluation is a full multi-seed mini-campaign
+// through Run, so refinement inherits the pool parallelism and the
+// determinism guarantee: bisection decisions depend only on aggregated
+// results, never on wall-clock or completion order.
+
+package harness
+
+import "math"
+
+// NumericAxis is a continuously refinable sweep parameter: a point
+// factory over a scalar value plus the default search range.
+type NumericAxis struct {
+	Name   string
+	Lo, Hi float64
+	// Integer snaps bisection midpoints to whole values (cluster
+	// sizes); refinement stops when no untried integer remains between
+	// the bracket ends.
+	Integer bool
+	// Point builds the grid point for one axis value.
+	Point func(v float64) Point
+}
+
+// StandardNumericAxes maps axis names (as accepted by nticampaign
+// -refine) to their refinable form, reusing the sweep-axis
+// constructors of grid.go so a refined point is configured exactly
+// like its swept counterpart.
+func StandardNumericAxes() map[string]NumericAxis {
+	return map[string]NumericAxis{
+		"load": {Name: "load", Lo: 0, Hi: 0.9,
+			Point: func(v float64) Point { return LoadAxis(v).Points[0] }},
+		"period": {Name: "period", Lo: 0.25, Hi: 4,
+			Point: func(v float64) Point { return PeriodAxis(v).Points[0] }},
+		"fosc": {Name: "fosc", Lo: 1e6, Hi: 20e6,
+			Point: func(v float64) Point { return FoscAxis(v).Points[0] }},
+		"nodes": {Name: "nodes", Lo: 2, Hi: 32, Integer: true,
+			Point: func(v float64) Point { return NodesAxis(int(v)).Points[0] }},
+	}
+}
+
+// Evaluation is one refined axis value: the cells run at that value
+// (all seeds) and the aggregated metric the bisection steered by.
+type Evaluation struct {
+	Value   float64
+	Metric  float64
+	Results []Result
+}
+
+// Refinement is the outcome of an adaptive-refinement run.
+type Refinement struct {
+	Axis   string
+	Target float64
+	Tol    float64
+	// Evals lists every evaluated value in evaluation order (the two
+	// range ends first, then midpoints).
+	Evals []Evaluation
+	// Lo and Hi are the final bracket, Lo.Value < Hi.Value. When
+	// Bracketed, their metrics straddle Target and Hi.Value−Lo.Value
+	// ≤ Tol (or no untried integer remains for an Integer axis).
+	Lo, Hi    Evaluation
+	Bracketed bool
+}
+
+// MeanPrecision is the default refinement metric: the mean across
+// non-errored cells of the per-cell mean precision, in seconds.
+func MeanPrecision(rs []Result) float64 {
+	var sum float64
+	n := 0
+	for i := range rs {
+		if rs[i].Err != "" {
+			continue
+		}
+		sum += rs[i].Precision.Mean
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Refine bisects ax over [ax.Lo, ax.Hi] until metric's crossover of
+// target is bracketed to tol (axis units). spec.Points is ignored:
+// each evaluation runs the axis point under every spec seed. A nil
+// metric means MeanPrecision.
+func Refine(spec Spec, ax NumericAxis, target, tol float64, metric func([]Result) float64) Refinement {
+	if metric == nil {
+		metric = MeanPrecision
+	}
+	eval := func(v float64) Evaluation {
+		sp := spec
+		sp.Points = []Point{ax.Point(v)}
+		c := Run(sp)
+		return Evaluation{Value: v, Metric: metric(c.Results), Results: c.Results}
+	}
+	return refineLoop(ax, target, tol, eval)
+}
+
+// refineLoop is the pure bisection engine behind Refine, split out so
+// tests can drive it with a synthetic metric. It assumes the metric is
+// monotone over the range (either direction); a non-monotone metric
+// still terminates but may bracket an arbitrary crossover.
+func refineLoop(ax NumericAxis, target, tol float64, eval func(v float64) Evaluation) Refinement {
+	r := Refinement{Axis: ax.Name, Target: target, Tol: tol}
+	lo, hi := eval(ax.Lo), eval(ax.Hi)
+	r.Evals = append(r.Evals, lo, hi)
+	above := func(e Evaluation) bool { return e.Metric >= target }
+	if above(lo) == above(hi) || math.IsNaN(lo.Metric) || math.IsNaN(hi.Metric) {
+		// No crossover inside the range: report the ends, unbracketed.
+		r.Lo, r.Hi = lo, hi
+		return r
+	}
+	r.Bracketed = true
+	for hi.Value-lo.Value > tol {
+		mv := (lo.Value + hi.Value) / 2
+		if ax.Integer {
+			mv = math.Round(mv)
+			if mv == lo.Value || mv == hi.Value {
+				break
+			}
+		}
+		m := eval(mv)
+		r.Evals = append(r.Evals, m)
+		if above(m) == above(lo) {
+			lo = m
+		} else {
+			hi = m
+		}
+	}
+	r.Lo, r.Hi = lo, hi
+	return r
+}

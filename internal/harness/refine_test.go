@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// syntheticAxis drives refineLoop with a closed-form metric so the
+// bisection contract can be checked without running simulations.
+func syntheticAxis(lo, hi float64, integer bool) NumericAxis {
+	return NumericAxis{Name: "synthetic", Lo: lo, Hi: hi, Integer: integer}
+}
+
+// TestRefineBracketsMonotoneCrossover: for a strictly monotone metric
+// the loop must bracket the exact crossover within the requested axis
+// tolerance, with metrics straddling the target.
+func TestRefineBracketsMonotoneCrossover(t *testing.T) {
+	// metric(v) = 0.5e-6 + 2e-6·v: crosses 1.5e-6 exactly at v = 0.5.
+	metric := func(v float64) float64 { return 0.5e-6 + 2e-6*v }
+	evals := 0
+	eval := func(v float64) Evaluation {
+		evals++
+		return Evaluation{Value: v, Metric: metric(v)}
+	}
+	const target, tol, crossing = 1.5e-6, 1e-3, 0.5
+	r := refineLoop(syntheticAxis(0, 0.9, false), target, tol, eval)
+	if !r.Bracketed {
+		t.Fatalf("crossover not bracketed: %+v", r)
+	}
+	if r.Hi.Value-r.Lo.Value > tol {
+		t.Errorf("bracket width %g > tol %g", r.Hi.Value-r.Lo.Value, tol)
+	}
+	if r.Lo.Value > crossing || r.Hi.Value < crossing {
+		t.Errorf("bracket [%g, %g] excludes the true crossing %g", r.Lo.Value, r.Hi.Value, crossing)
+	}
+	if (r.Lo.Metric >= target) == (r.Hi.Metric >= target) {
+		t.Errorf("bracket metrics %g/%g do not straddle target %g", r.Lo.Metric, r.Hi.Metric, target)
+	}
+	if len(r.Evals) != evals {
+		t.Errorf("recorded %d evals, performed %d", len(r.Evals), evals)
+	}
+	// Bisection cost: 2 ends + ~log2(range/tol) midpoints.
+	if max := 2 + int(math.Ceil(math.Log2(0.9/tol))) + 1; evals > max {
+		t.Errorf("evals = %d, want <= %d", evals, max)
+	}
+}
+
+// A decreasing metric must bracket just as well (sign-based bisection).
+func TestRefineDecreasingMetric(t *testing.T) {
+	eval := func(v float64) Evaluation {
+		return Evaluation{Value: v, Metric: 10 - v} // crosses 4 at v = 6
+	}
+	r := refineLoop(syntheticAxis(0, 32, false), 4, 0.125, eval)
+	if !r.Bracketed || r.Lo.Value > 6 || r.Hi.Value < 6 {
+		t.Fatalf("decreasing metric not bracketed around 6: %+v", r)
+	}
+	if r.Hi.Value-r.Lo.Value > 0.125 {
+		t.Errorf("bracket width %g > tol", r.Hi.Value-r.Lo.Value)
+	}
+}
+
+// TestRefineNoCrossover: when the target lies outside the metric range
+// the loop reports the unbracketed ends instead of looping.
+func TestRefineNoCrossover(t *testing.T) {
+	eval := func(v float64) Evaluation { return Evaluation{Value: v, Metric: v} }
+	r := refineLoop(syntheticAxis(0, 1, false), 5, 0.01, eval)
+	if r.Bracketed {
+		t.Fatal("target outside range must not bracket")
+	}
+	if len(r.Evals) != 2 {
+		t.Errorf("no-crossover run evaluated %d points, want just the 2 ends", len(r.Evals))
+	}
+}
+
+// TestRefineIntegerAxis: integer axes snap midpoints and stop when the
+// bracket closes to adjacent integers, even with a tiny tolerance.
+func TestRefineIntegerAxis(t *testing.T) {
+	var seen []float64
+	eval := func(v float64) Evaluation {
+		seen = append(seen, v)
+		return Evaluation{Value: v, Metric: v * v} // crosses 40 between 6 and 7
+	}
+	r := refineLoop(syntheticAxis(2, 32, true), 40, 1e-9, eval)
+	if !r.Bracketed {
+		t.Fatal("integer crossover not bracketed")
+	}
+	if r.Lo.Value != 6 || r.Hi.Value != 7 {
+		t.Errorf("bracket = [%g, %g], want [6, 7]", r.Lo.Value, r.Hi.Value)
+	}
+	for _, v := range seen {
+		if v != math.Trunc(v) {
+			t.Errorf("non-integer evaluation %g on integer axis", v)
+		}
+	}
+}
+
+// TestRefineRealCampaign exercises the Run-backed wrapper end to end on
+// a tiny spec: evaluations must carry one result per seed and be
+// reproducible (the refinement is re-run and compared).
+func TestRefineRealCampaign(t *testing.T) {
+	spec := testSpec(4)
+	spec.Points = nil
+	spec.Seeds = []uint64{7, 8}
+	spec.WarmupS, spec.WindowS = 2, 4
+
+	ax := StandardNumericAxes()["load"]
+	ax.Lo, ax.Hi = 0, 0.4
+	run := func() Refinement {
+		// Huge target: no crossover expected — only the 2 end evaluations
+		// run, keeping the test cheap while covering the Run wiring.
+		return Refine(spec, ax, 1.0, 0.1, nil)
+	}
+	a, b := run(), run()
+	if len(a.Evals) != 2 {
+		t.Fatalf("evals = %d, want 2", len(a.Evals))
+	}
+	for _, e := range a.Evals {
+		if len(e.Results) != 2 {
+			t.Fatalf("evaluation at %g has %d results, want one per seed", e.Value, len(e.Results))
+		}
+		if math.IsNaN(e.Metric) || e.Metric <= 0 {
+			t.Errorf("implausible metric %g at %g", e.Metric, e.Value)
+		}
+	}
+	for i := range a.Evals {
+		if a.Evals[i].Metric != b.Evals[i].Metric || a.Evals[i].Value != b.Evals[i].Value {
+			t.Errorf("refinement not reproducible at eval %d: %+v vs %+v", i, a.Evals[i], b.Evals[i])
+		}
+	}
+}

@@ -14,12 +14,20 @@ import (
 )
 
 // Series accumulates scalar samples.
+//
+// Defined behaviour at the edges, relied on by stats/report consumers:
+// an empty series returns 0 from every statistic (Min, Max, Mean,
+// Stddev, Percentile, Range); a single-sample series returns that
+// sample from Min, Max, Mean and every Percentile, and 0 from Stddev
+// and Range. Statistics never panic and never return NaN.
 type Series struct {
 	vals   []float64
 	sorted bool
 }
 
-// Add appends a sample.
+// Add appends a sample. Adding invalidates the sorted cache, so Add
+// and order-statistic calls may interleave freely — the next
+// Min/Max/Percentile re-sorts once and sees every sample added so far.
 func (s *Series) Add(v float64) {
 	s.vals = append(s.vals, v)
 	s.sorted = false
@@ -67,7 +75,8 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.vals))
 }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation (n denominator;
+// 0 when the series is empty or has a single sample).
 func (s *Series) Stddev() float64 {
 	n := len(s.vals)
 	if n == 0 {
@@ -83,9 +92,13 @@ func (s *Series) Stddev() float64 {
 }
 
 // Range returns Max-Min: the spread, which for stamp-gap series is ε.
+// It is 0 for empty and single-sample series.
 func (s *Series) Range() float64 { return s.Max() - s.Min() }
 
-// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank.
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank on
+// the sorted samples: index round(p·(n−1)). The empty series returns
+// 0, a single sample is every quantile of itself, and p outside [0,1]
+// clamps to the extreme samples rather than erroring.
 func (s *Series) Percentile(p float64) float64 {
 	n := len(s.vals)
 	if n == 0 {

@@ -32,6 +32,77 @@ func TestSeriesEmpty(t *testing.T) {
 	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(0.5) != 0 {
 		t.Error("empty series should return zeros")
 	}
+	// Every quantile of the empty series is 0, including the clamped
+	// out-of-range ones, and Range/Stats stay zero too.
+	for _, p := range []float64{-1, 0, 0.25, 1, 2} {
+		if s.Percentile(p) != 0 {
+			t.Errorf("empty Percentile(%g) = %g, want 0", p, s.Percentile(p))
+		}
+	}
+	if s.Range() != 0 {
+		t.Errorf("empty Range = %g", s.Range())
+	}
+	if st := s.Stats(); st != (SeriesStats{}) {
+		t.Errorf("empty Stats = %+v, want zero value", st)
+	}
+}
+
+// A single sample is its own min, max, mean and every quantile, with
+// zero dispersion — the degenerate case stats.Describe builds on.
+func TestSeriesSingleSample(t *testing.T) {
+	var s Series
+	s.Add(3.5e-6)
+	if s.N() != 1 || s.Min() != 3.5e-6 || s.Max() != 3.5e-6 || s.Mean() != 3.5e-6 {
+		t.Fatalf("single-sample accessors: min=%g max=%g mean=%g", s.Min(), s.Max(), s.Mean())
+	}
+	for _, p := range []float64{-0.5, 0, 0.25, 0.5, 0.99, 1, 1.5} {
+		if got := s.Percentile(p); got != 3.5e-6 {
+			t.Errorf("Percentile(%g) = %g, want the sample", p, got)
+		}
+	}
+	if s.Stddev() != 0 || s.Range() != 0 {
+		t.Errorf("single-sample dispersion: stddev=%g range=%g, want 0", s.Stddev(), s.Range())
+	}
+	st := s.Stats()
+	if st.N != 1 || st.Min != 3.5e-6 || st.P50 != 3.5e-6 || st.P99 != 3.5e-6 || st.Max != 3.5e-6 {
+		t.Errorf("single-sample Stats = %+v", st)
+	}
+}
+
+// Interleaving Add with order statistics must re-trigger the
+// sort-once path each time: every read sees all samples added so far,
+// and earlier sorted snapshots never leak stale answers.
+func TestSeriesInterleavedAddAndQuantiles(t *testing.T) {
+	var s Series
+	oracle := func(p float64, want float64) {
+		t.Helper()
+		if got := s.Percentile(p); got != want {
+			t.Errorf("after %d adds: Percentile(%g) = %g, want %g", s.N(), p, got, want)
+		}
+	}
+	s.Add(5)
+	oracle(0.5, 5) // sorts {5}
+	s.Add(1)
+	oracle(0, 1) // re-sorts {1,5}
+	oracle(1, 5)
+	s.Add(3)
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	oracle(0.5, 3) // re-sorts {1,3,5}
+	s.Add(0)       // new minimum after a quantile call
+	oracle(0, 0)
+	s.Add(9) // new maximum after a quantile call
+	oracle(1, 9)
+	oracle(0.5, 3)
+	if s.Mean() != (5+1+3+0+9)/5.0 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	// Stats after the interleaving agrees with the accessors.
+	st := s.Stats()
+	if st.Min != 0 || st.Max != 9 || st.P50 != 3 || st.N != 5 {
+		t.Errorf("Stats after interleaving = %+v", st)
+	}
 }
 
 func TestSeriesPercentile(t *testing.T) {

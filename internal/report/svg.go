@@ -1,0 +1,185 @@
+// Pure-stdlib SVG line plots: one fixed-size chart with optional
+// confidence bands and per-seed scatter per series. Everything is
+// rendered with fixed-precision coordinate formatting and sorted
+// iteration, so the same data always produces the same bytes — the
+// golden report gate depends on that.
+
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+const (
+	svgW, svgH                           = 640, 360
+	padLeft, padRight, padTop, padBottom = 64, 16, 28, 44
+)
+
+// palette is the fixed series color cycle (matplotlib's tab colors).
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+type xy struct{ X, Y float64 }
+
+// plotPoint is one line vertex with an optional confidence band
+// [Lo, Hi] around Y (Lo == Hi == Y renders no band contribution).
+type plotPoint struct{ X, Y, Lo, Hi float64 }
+
+type plotSeries struct {
+	Name    string
+	Points  []plotPoint // ascending X (caller sorts)
+	Scatter []xy        // per-seed observations
+}
+
+// fc formats an SVG coordinate: two decimals is below device
+// resolution and keeps the output byte-stable.
+func fc(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// fticks formats a tick label with 4 significant digits.
+func ftick(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// niceStep rounds raw up to a 1/2/5×10^k step.
+func niceStep(raw float64) float64 {
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch frac := raw / mag; {
+	case frac <= 1:
+		return mag
+	case frac <= 2:
+		return 2 * mag
+	case frac <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+// niceTicks returns ~n tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo}
+	}
+	step := niceStep((hi - lo) / float64(n-1))
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		// Snap near-zero accumulation error so labels read "0", not "1e-17".
+		if math.Abs(v) < step*1e-6 {
+			v = 0
+		}
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// renderSVG draws the chart. Y values are expected pre-converted to
+// display units (µs for the report's precision plots).
+func renderSVG(title, xLabel, yLabel string, series []plotSeries) string {
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			xlo, xhi = math.Min(xlo, p.X), math.Max(xhi, p.X)
+			ylo = math.Min(ylo, math.Min(p.Y, p.Lo))
+			yhi = math.Max(yhi, math.Max(p.Y, p.Hi))
+		}
+		for _, p := range s.Scatter {
+			xlo, xhi = math.Min(xlo, p.X), math.Max(xhi, p.X)
+			ylo, yhi = math.Min(ylo, p.Y), math.Max(yhi, p.Y)
+		}
+	}
+	if math.IsInf(xlo, 1) {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="640" height="60"><text x="8" y="30" font-family="monospace" font-size="12">no data</text></svg>`
+	}
+	pad := func(lo, hi float64) (float64, float64) {
+		span := hi - lo
+		if span == 0 {
+			span = math.Max(math.Abs(hi), 1)
+		}
+		return lo - 0.05*span, hi + 0.05*span
+	}
+	xlo, xhi = pad(xlo, xhi)
+	ylo, yhi = pad(ylo, yhi)
+
+	sx := func(v float64) float64 {
+		return padLeft + (v-xlo)/(xhi-xlo)*float64(svgW-padLeft-padRight)
+	}
+	sy := func(v float64) float64 {
+		return float64(svgH-padBottom) - (v-ylo)/(yhi-ylo)*float64(svgH-padTop-padBottom)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%s" y="16" text-anchor="middle" font-size="13">%s</text>`+"\n",
+		fc(float64(padLeft+(svgW-padLeft-padRight)/2)), escape(title))
+
+	// Grid and ticks.
+	for _, t := range niceTicks(xlo, xhi, 6) {
+		x := fc(sx(t))
+		fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="#dddddd"/>`+"\n", x, padTop, x, svgH-padBottom)
+		fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="middle" fill="#444444">%s</text>`+"\n", x, svgH-padBottom+16, ftick(t))
+	}
+	for _, t := range niceTicks(ylo, yhi, 6) {
+		y := fc(sy(t))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#dddddd"/>`+"\n", padLeft, y, svgW-padRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%s" text-anchor="end" dy="4" fill="#444444">%s</text>`+"\n", padLeft-6, y, ftick(t))
+	}
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888888"/>`+"\n",
+		padLeft, padTop, svgW-padLeft-padRight, svgH-padTop-padBottom)
+	fmt.Fprintf(&b, `<text x="%s" y="%d" text-anchor="middle">%s</text>`+"\n",
+		fc(float64(padLeft+(svgW-padLeft-padRight)/2)), svgH-8, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%s" text-anchor="middle" transform="rotate(-90 14 %s)">%s</text>`+"\n",
+		fc(float64(padTop+(svgH-padTop-padBottom)/2)), fc(float64(padTop+(svgH-padTop-padBottom)/2)), escape(yLabel))
+
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		// Confidence band: upper edge left-to-right, lower edge back.
+		hasBand := false
+		for _, p := range s.Points {
+			if p.Lo != p.Y || p.Hi != p.Y {
+				hasBand = true
+			}
+		}
+		if hasBand && len(s.Points) > 1 {
+			var poly []string
+			for _, p := range s.Points {
+				poly = append(poly, fc(sx(p.X))+","+fc(sy(p.Hi)))
+			}
+			for j := len(s.Points) - 1; j >= 0; j-- {
+				p := s.Points[j]
+				poly = append(poly, fc(sx(p.X))+","+fc(sy(p.Lo)))
+			}
+			fmt.Fprintf(&b, `<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="none"/>`+"\n",
+				strings.Join(poly, " "), color)
+		}
+		var line []string
+		for _, p := range s.Points {
+			line = append(line, fc(sx(p.X))+","+fc(sy(p.Y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(line, " "), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", fc(sx(p.X)), fc(sy(p.Y)), color)
+		}
+		for _, p := range s.Scatter {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2" fill="%s" fill-opacity="0.45"/>`+"\n", fc(sx(p.X)), fc(sy(p.Y)), color)
+		}
+	}
+
+	// Legend, top-right inside the frame.
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		y := padTop + 14 + 15*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			svgW-padRight-150, y, svgW-padRight-130, y, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dy="4">%s</text>`+"\n", svgW-padRight-124, y, escape(s.Name))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// escape makes a string safe for SVG/HTML text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
