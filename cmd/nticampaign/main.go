@@ -9,6 +9,7 @@
 //
 //	nticampaign -list                        # available presets
 //	nticampaign -preset matrix -out artifacts/
+//	nticampaign -preset smoke -out artifacts/ -trace  # + per-cell traces
 //	nticampaign -preset smoke -seeds 3 -report report.md
 //	nticampaign -preset smoke -check testdata/smoke.golden.json
 //	nticampaign -preset smoke -write-golden testdata/smoke.golden.json
@@ -168,6 +169,7 @@ func main() {
 		checkPath   = flag.String("check", "", "gate against this golden file (non-zero exit on deviation)")
 		writeGolden = flag.String("write-golden", "", "write/refresh the golden file from this run")
 		reportPath  = flag.String("report", "", "write a Markdown+SVG report of this run to this file")
+		traceCells  = flag.Bool("trace", false, "capture a cross-layer trace per cell (requires -out; adds one .cell-NNN.trace.jsonl per cell)")
 		refine      = flag.String("refine", "", "adaptive refinement instead of the preset grid: axis=target, e.g. load=2e-6 (axes: "+refineChoices()+")")
 		refineTol   = flag.Float64("refine-tol", 0, "axis tolerance for -refine (default: range/64)")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
@@ -213,6 +215,12 @@ func main() {
 	}
 	if *window > 0 {
 		spec.WindowS = *window
+	}
+	if *traceCells {
+		if *outDir == "" {
+			fatalf("-trace needs -out (traces are written as per-cell artifacts)")
+		}
+		spec.Trace = true
 	}
 	if !*quiet {
 		spec.Progress = os.Stderr

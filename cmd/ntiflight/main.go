@@ -1,0 +1,124 @@
+// Command ntiflight analyzes cross-layer trace artifacts (the JSONL
+// emitted by `nticampaign -trace` or `ntitrace -json`): it reconstructs
+// the per-hop latency distribution of the Fig. 3 timestamping data path
+// — CSP send → TRANSMIT trigger → serialization → reception → RECEIVE
+// trigger → stored → CI arrival → round update — and prints the fault
+// onset/recovery and round-convergence timelines.
+//
+// Usage:
+//
+//	ntiflight -in artifacts/campaign-smoke.cell-000.trace.jsonl
+//	ntitrace -json | ntiflight -in -
+//	ntiflight -in cell.trace.jsonl -perfetto flight.json  # ui.perfetto.dev
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ntisim/internal/gps"
+	"ntisim/internal/metrics"
+	"ntisim/internal/trace"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ntiflight: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "trace JSONL file ('-' for stdin)")
+	perfetto := flag.String("perfetto", "", "additionally convert the trace to Chrome/Perfetto trace-event JSON at this path")
+	rounds := flag.Int("rounds", 8, "round-timeline entries to print (0 = none, -1 = all)")
+	flag.Parse()
+
+	if *in == "" {
+		fatalf("-in is required (trace JSONL from 'nticampaign -trace' or 'ntitrace -json')")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := trace.ReadJSONL(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(recs) == 0 {
+		fatalf("empty trace")
+	}
+	fmt.Printf("%d records, t=%.6f..%.6f\n\n", len(recs), recs[0].T, recs[len(recs)-1].T)
+
+	fmt.Println("flight path (per-hop latency, Fig. 3 stages):")
+	tb := metrics.Table{Header: []string{"hop", "n", "min [µs]", "median [µs]", "p99 [µs]", "max [µs]"}}
+	for _, h := range trace.FlightPath(recs) {
+		if h.N == 0 {
+			tb.AddRow(h.Name, "0", "-", "-", "-", "-")
+			continue
+		}
+		tb.AddRow(h.Name, fmt.Sprint(h.N),
+			metrics.Us(h.MinS), metrics.Us(h.MedianS), metrics.Us(h.P99S), metrics.Us(h.MaxS))
+	}
+	tb.Fprint(os.Stdout)
+
+	if faults := trace.FaultTimeline(recs); len(faults) > 0 {
+		fmt.Println("\nfault timeline:")
+		for _, f := range faults {
+			what := "recovered from"
+			mag := ""
+			if f.Onset {
+				what = "onset of"
+				mag = fmt.Sprintf(" (magnitude %g)", f.Magnitude)
+			}
+			fmt.Printf("  t=%10.3f  node %d: %s %s%s\n",
+				f.T, f.Node, what, gps.FaultKind(f.FaultKind), mag)
+		}
+	}
+
+	if evs := trace.RoundTimeline(recs); len(evs) > 0 && *rounds != 0 {
+		ok, failed := 0, 0
+		for _, e := range evs {
+			if e.Failed {
+				failed++
+			} else {
+				ok++
+			}
+		}
+		fmt.Printf("\nrounds: %d updates, %d convergence failures\n", ok, failed)
+		show := evs
+		if *rounds > 0 && len(show) > *rounds {
+			fmt.Printf("last %d:\n", *rounds)
+			show = show[len(show)-*rounds:]
+		}
+		for _, e := range show {
+			if e.Failed {
+				fmt.Printf("  t=%10.6f  node %d round %d: FAILED (%d intervals)\n",
+					e.T, e.Node, e.Round, e.Intervals)
+				continue
+			}
+			fmt.Printf("  t=%10.6f  node %d round %d: %d intervals, correction %sµs\n",
+				e.T, e.Node, e.Round, e.Intervals, metrics.Us(e.CorrectionS))
+		}
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := trace.WritePerfetto(f, recs); err != nil {
+			f.Close()
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\nperfetto trace: %s (load in ui.perfetto.dev or chrome://tracing)\n", *perfetto)
+	}
+}

@@ -1,9 +1,15 @@
 // Command ntitrace walks one CSP through the complete Fig. 3 data path
 // on a two-node system and dumps every timestamping-relevant artefact:
-// the transmit header image before and after the COMCO's trigger reads,
-// the receive header as stored by DMA, the NTI's latched registers and
-// the reassembled stamps. It is the repository's equivalent of putting
-// a logic analyzer on the MA-Module.
+// the cross-layer trace of the flight (every DMA word included), the
+// transmit header image before and after the COMCO's trigger reads, the
+// receive header as stored by DMA, the NTI's latched registers and the
+// reassembled stamps. It is the repository's equivalent of putting a
+// logic analyzer on the MA-Module.
+//
+// The event stream comes from internal/trace — the same records the
+// campaign harness archives — rendered one record per line. -json dumps
+// the records as trace JSONL instead (the committed golden in testdata/
+// pins this byte-deterministic output; see `make trace-smoke`).
 package main
 
 import (
@@ -17,14 +23,18 @@ import (
 	"ntisim/internal/network"
 	"ntisim/internal/nti"
 	"ntisim/internal/timefmt"
+	"ntisim/internal/trace"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 7, "random seed")
 	at := flag.Float64("at", 0.5, "send time [sim s]")
+	asJSON := flag.Bool("json", false, "emit the trace as JSONL on stdout (no prose)")
 	flag.Parse()
 
+	tr := trace.New(trace.Options{DMAWords: true})
 	cfg := cluster.Defaults(2, *seed)
+	cfg.Tracer = tr
 	c := cluster.New(cfg)
 	sender, receiver := c.Members[0], c.Members[1]
 
@@ -35,13 +45,32 @@ func main() {
 	// the before/after of the stamp block.
 	p := csp.Packet{Kind: csp.KindCSP, Node: 0, Round: 1}
 	img := p.Encode()
+	before := append([]byte(nil), img...)
 	c.Sim.At(*at, func() {
 		sender.Node.NTI.CPUWrite(nti.TxHeaderAddr(0), img)
-		fmt.Printf("t=%.6f  CPU wrote CSP image into tx header 0 (stamp block zero)\n", c.Sim.Now())
-		dumpStampBlock("  before", img)
 		sender.Node.COMCO.Transmit(0, nil, network.Broadcast)
 	})
 	c.Sim.RunUntil(*at + 1)
+
+	if *asJSON {
+		if err := tr.WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ntitrace: %v\n", err)
+			os.Exit(1)
+		}
+		if arrival == nil {
+			fmt.Fprintln(os.Stderr, "ntitrace: CSP never reached the CI — trace failed")
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("cross-layer trace (%d records, %d dropped):\n", tr.Len(), tr.Dropped())
+	for _, r := range tr.Records() {
+		fmt.Println("  " + r.String())
+	}
+
+	fmt.Printf("\nCPU wrote CSP image into tx header 0 at t=%.6f (stamp block zero)\n", *at)
+	dumpStampBlock("  before", before)
 
 	var after [nti.HeaderSize]byte
 	sender.Node.NTI.CPURead(nti.TxHeaderAddr(0), after[:])

@@ -6,6 +6,7 @@ import (
 	"ntisim/internal/kernel"
 	"ntisim/internal/network"
 	"ntisim/internal/timefmt"
+	"ntisim/internal/trace"
 )
 
 // ConvergeFunc fuses the preprocessed accuracy intervals of one round
@@ -150,7 +151,13 @@ type Synchronizer struct {
 	// primarySeenRound is the last round in which a primary CSP was
 	// collected.
 	primarySeenRound uint32
+
+	tr *trace.Tracer
 }
+
+// SetTracer attaches an event tracer (nil detaches). The synchronizer
+// emits round-start, round-update, round-fail and rate-adjust records.
+func (sy *Synchronizer) SetTracer(tr *trace.Tracer) { sy.tr = tr }
 
 type peerEntry struct {
 	iv      interval.Interval // real-time bounds at rx instant, local axis
@@ -251,6 +258,9 @@ func (sy *Synchronizer) broadcast(k uint32) {
 	if k <= sy.primaryUntil {
 		p.Flags |= csp.FlagPrimary
 	}
+	if sy.tr != nil {
+		sy.tr.Emit(trace.KindRoundStart, sy.node.Sim.Now(), int(sy.node.ID), 0, uint64(k), 0, 0)
+	}
 	sy.node.SendCSP(p, network.Broadcast)
 	sy.stats.CSPsSent++
 	sy.compTm = sy.clk.DutyAt(sy.roundStart(k).Add(sy.p.ComputeDelay), func() { sy.converge(k) })
@@ -331,6 +341,9 @@ func (sy *Synchronizer) converge(k uint32) {
 	out, ok := sy.p.Convergence(ivs, sy.p.F)
 	if !ok {
 		sy.stats.ConvergenceFailed++
+		if sy.tr != nil {
+			sy.tr.Emit(trace.KindRoundFail, sy.node.Sim.Now(), int(sy.node.ID), 0, uint64(k), uint64(len(ivs)), 0)
+		}
 		return
 	}
 
@@ -386,6 +399,10 @@ func (sy *Synchronizer) converge(k uint32) {
 	}
 
 	sy.enforce(now, out)
+	if sy.tr != nil {
+		sy.tr.Emit(trace.KindRoundUpdate, sy.node.Sim.Now(), int(sy.node.ID), 0,
+			uint64(k), uint64(len(ivs)), sy.stats.LastCorrection.Seconds())
+	}
 
 	if sy.rate != nil {
 		if corr, rho, ok := sy.rate.apply(k); ok {
@@ -393,6 +410,10 @@ func (sy *Synchronizer) converge(k uint32) {
 			sy.rhoNow = rho
 			acu := sy.acuRho(k)
 			sy.clk.SetDriftBoundPPB(acu, acu)
+			if sy.tr != nil {
+				sy.tr.Emit(trace.KindRateAdjust, sy.node.Sim.Now(), int(sy.node.ID), 0,
+					uint64(k), 0, float64(corr))
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"ntisim/internal/oscillator"
 	"ntisim/internal/sim"
 	"ntisim/internal/timefmt"
+	"ntisim/internal/trace"
 	"ntisim/internal/utcsu"
 )
 
@@ -52,6 +53,11 @@ type Config struct {
 	// BackgroundLoad injects competing KI/NI-style traffic at this
 	// utilization (0..0.9).
 	BackgroundLoad float64
+	// Tracer, when non-nil, is wired through every layer of the cluster
+	// (simulation kernel, media, node kernels, synchronizers, GPS
+	// receivers). One Tracer belongs to exactly one cluster — like the
+	// simulator, it is single-threaded state.
+	Tracer *trace.Tracer
 }
 
 // Defaults returns a ready-to-run n-node configuration.
@@ -151,6 +157,10 @@ func New(cfg Config) *Cluster {
 	}
 	s := sim.New(cfg.Seed)
 	med := network.NewMedium(s, cfg.Medium)
+	if cfg.Tracer != nil {
+		s.SetTracer(cfg.Tracer)
+		med.SetTracer(cfg.Tracer)
+	}
 	c := &Cluster{Sim: s, Med: med, Media: []*network.Medium{med}, cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
 		oc := oscillator.TCXO(cfg.OscHz)
@@ -178,6 +188,13 @@ func New(cfg Config) *Cluster {
 			m.GPS = clocksync.AttachGPS(node, 0, acc, rho)
 			m.Rx = gps.New(s, gc, fmt.Sprintf("node%d", i), m.GPS.OnPulse)
 			m.Sync.AddExternal(m.GPS.Interval)
+		}
+		if cfg.Tracer != nil {
+			node.SetTracer(cfg.Tracer)
+			m.Sync.SetTracer(cfg.Tracer)
+			if m.Rx != nil {
+				m.Rx.SetTracer(cfg.Tracer, i)
+			}
 		}
 		c.Members = append(c.Members, m)
 	}

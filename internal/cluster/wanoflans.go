@@ -42,6 +42,12 @@ func NewWANOfLANsGW(base Config, segments, nodesPerSegment, gatewaysPerLink int)
 	media := make([]*network.Medium, segments)
 	for i := range media {
 		media[i] = network.NewMedium(s, base.Medium)
+		if base.Tracer != nil {
+			media[i].SetTracer(base.Tracer)
+		}
+	}
+	if base.Tracer != nil {
+		s.SetTracer(base.Tracer)
 	}
 	c := &Cluster{Sim: s, Med: media[0], Media: media, cfg: base}
 
@@ -56,6 +62,10 @@ func NewWANOfLANsGW(base Config, segments, nodesPerSegment, gatewaysPerLink int)
 		node := kernel.NewNode(s, id, u, med, base.Kernel, base.COMCO)
 		m := &Member{Index: int(id), Segment: segment, Osc: osc, U: u, Node: node}
 		m.Sync = clocksync.New(node, clocksync.UTCSUClock{UTCSU: u}, base.Sync)
+		if base.Tracer != nil {
+			node.SetTracer(base.Tracer)
+			m.Sync.SetTracer(base.Tracer)
+		}
 		id++
 		c.Members = append(c.Members, m)
 		return m

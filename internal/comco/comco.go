@@ -17,9 +17,11 @@ package comco
 import (
 	"encoding/binary"
 
+	"ntisim/internal/csp"
 	"ntisim/internal/network"
 	"ntisim/internal/nti"
 	"ntisim/internal/sim"
+	"ntisim/internal/trace"
 )
 
 // Config describes the controller's DMA timing.
@@ -53,10 +55,18 @@ type COMCO struct {
 	channel int
 
 	rxNext     int
-	onRxStored func(headerBase uint32, length int, corrupt bool)
+	onRxStored func(fid uint64, headerBase uint32, length int, corrupt bool)
 
 	txFrames uint64
 	rxFrames uint64
+
+	// tr is the optional trace sink; trNode is the node id records are
+	// attributed to (the kernel's global node id — may differ from the
+	// medium-local station id on gateway nodes). trWords caches
+	// Options.DMAWords so the per-word hot path is one flag test.
+	tr      *trace.Tracer
+	trNode  int
+	trWords bool
 
 	// Pools for the per-word DMA transfers and the per-frame completion
 	// notification. Every received frame used to allocate one closure
@@ -76,19 +86,34 @@ type dmaJob struct {
 	val  uint32 // rx: word to deposit
 	buf  []byte // tx: frame payload the read lands in
 	off  int
+	fid  uint64 // frame trace id (flow key)
 	tx   bool
+	trig bool // this word is the TRANSMIT/RECEIVE trigger access
 	run  func()
 }
 
 func (j *dmaJob) fire() {
 	c := j.c
 	tx, addr, buf, off, val := j.tx, j.addr, j.buf, j.off, j.val
+	fid, trig := j.fid, j.trig
 	j.buf = nil
 	c.freeJobs = append(c.freeJobs, j) // release first: the access below may schedule more DMA
 	if tx {
 		binary.BigEndian.PutUint32(buf[off:], c.nti.COMCORead32(addr))
 	} else {
 		c.nti.COMCOWrite32(addr, val)
+	}
+	if c.tr != nil {
+		if c.trWords {
+			c.tr.Emit(trace.KindDMAWord, c.s.Now(), c.trNode, c.channel, fid, uint64(addr), 0)
+		}
+		if trig {
+			k := trace.KindRxTrigger
+			if tx {
+				k = trace.KindTxTrigger
+			}
+			c.tr.Emit(k, c.s.Now(), c.trNode, c.channel, fid, uint64(addr), 0)
+		}
 	}
 }
 
@@ -110,17 +135,21 @@ type rxDone struct {
 	c       *COMCO
 	base    uint32
 	length  int
+	fid     uint64
 	corrupt bool
 	run     func()
 }
 
 func (d *rxDone) fire() {
 	c := d.c
-	base, length, corrupt := d.base, d.length, d.corrupt
+	base, length, corrupt, fid := d.base, d.length, d.corrupt, d.fid
 	c.freeDone = append(c.freeDone, d)
 	c.rxFrames++
+	if c.tr != nil {
+		c.tr.Emit(trace.KindRxDone, c.s.Now(), c.trNode, c.channel, fid, uint64(base), 0)
+	}
 	if c.onRxStored != nil {
-		c.onRxStored(base, length, corrupt)
+		c.onRxStored(fid, base, length, corrupt)
 	}
 }
 
@@ -168,11 +197,22 @@ func (c *COMCO) Station() int { return c.station }
 
 // OnRxStored installs the frame-reception callback: it fires when the
 // last header word has been deposited in NTI memory, i.e. at the moment
-// the real chip would raise its reception interrupt. corrupt reports a
-// CRC failure — the frame was still DMA'd (and the RECEIVE trigger
-// fired! paper footnote 4) but must be discarded by software.
-func (c *COMCO) OnRxStored(fn func(headerBase uint32, length int, corrupt bool)) {
+// the real chip would raise its reception interrupt. fid is the frame's
+// medium-assigned trace id; corrupt reports a CRC failure — the frame
+// was still DMA'd (and the RECEIVE trigger fired! paper footnote 4) but
+// must be discarded by software.
+func (c *COMCO) OnRxStored(fn func(fid uint64, headerBase uint32, length int, corrupt bool)) {
 	c.onRxStored = fn
+}
+
+// SetTracer attaches an event tracer (nil detaches), attributing this
+// controller's records to node id `node`. Emitted: tx-trigger,
+// rx-trigger, rx-done, and — when the tracer asks for them — every
+// timed DMA word.
+func (c *COMCO) SetTracer(tr *trace.Tracer, node int) {
+	c.tr = tr
+	c.trNode = node
+	c.trWords = tr.Options().DMAWords
 }
 
 // Transmit queues the CSP image residing in transmit header slot
@@ -180,13 +220,16 @@ func (c *COMCO) OnRxStored(fn func(headerBase uint32, length int, corrupt bool))
 // with extra payload bytes appended verbatim. The frame's header bytes
 // are produced by timed DMA reads through the NTI's decode logic, so the
 // TRANSMIT trigger fires and the stamp words are inserted on the fly.
-func (c *COMCO) Transmit(headerIdx int, extra []byte, dst int) {
+// It returns the frame's medium-assigned trace id.
+func (c *COMCO) Transmit(headerIdx int, extra []byte, dst int) uint64 {
 	base := nti.TxHeaderAddrCh(c.channel, headerIdx)
 	payload := make([]byte, nti.HeaderSize+len(extra))
 	copy(payload[nti.HeaderSize:], extra)
 	f := network.Frame{Src: c.station, Dst: dst, Payload: payload}
-	c.med.Send(f, func(at float64) { c.fetchHeader(base, payload, at) })
+	var fid uint64
+	fid = c.med.Send(f, func(at float64) { c.fetchHeader(fid, base, payload, at) })
 	c.txFrames++
+	return fid
 }
 
 // TransmitRaw sends a pre-assembled frame without going through the
@@ -194,18 +237,20 @@ func (c *COMCO) Transmit(headerIdx int, extra []byte, dst int) {
 // support uses (the software-only baselines of experiment E2): the
 // payload bytes leave exactly as software wrote them, so any timestamp
 // they carry was taken before medium access.
-func (c *COMCO) TransmitRaw(payload []byte, dst int) {
+// It returns the frame's medium-assigned trace id.
+func (c *COMCO) TransmitRaw(payload []byte, dst int) uint64 {
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
-	c.med.Send(network.Frame{Src: c.station, Dst: dst, Payload: buf}, nil)
+	fid := c.med.Send(network.Frame{Src: c.station, Dst: dst, Payload: buf}, nil)
 	c.txFrames++
+	return fid
 }
 
 // fetchHeader schedules the DMA reads that fill the frame's header bytes
 // while serialization is under way. Word w is read either during the
 // initial FIFO prefill (back-to-back at DMA speed) or, once the FIFO is
 // primed, paced by the wire draining it.
-func (c *COMCO) fetchHeader(base uint32, payload []byte, acquiredAt float64) {
+func (c *COMCO) fetchHeader(fid uint64, base uint32, payload []byte, acquiredAt float64) {
 	arb := c.rng.Uniform(c.cfg.ArbMinS, c.cfg.ArbMaxS)
 	preamble := 64 / c.med.Bitrate() // preamble bits on the wire
 	for w := 0; w < nti.HeaderSize/4; w++ {
@@ -222,6 +267,8 @@ func (c *COMCO) fetchHeader(base uint32, payload []byte, acquiredAt float64) {
 		j.addr = base + off
 		j.buf = payload
 		j.off = int(off)
+		j.fid = fid
+		j.trig = off == csp.OffTxTrig
 		c.s.At(t, j.run)
 	}
 }
@@ -244,6 +291,8 @@ func (c *COMCO) FrameArrived(f network.Frame) {
 		j.tx = false
 		j.addr = base + uint32(4*w)
 		j.val = binary.BigEndian.Uint32(f.Payload[4*w:])
+		j.fid = f.ID
+		j.trig = uint32(4*w) == csp.RxTrigOffset
 		c.s.After(arb+float64(w)*c.cfg.DMAWordTimeS, j.run)
 	}
 	// Payload beyond the header lands in the paired data-buffer slot
@@ -260,6 +309,8 @@ func (c *COMCO) FrameArrived(f network.Frame) {
 			j := c.allocJob()
 			j.tx = false
 			j.addr = dataBase + uint32(4*w)
+			j.fid = f.ID
+			j.trig = false
 			if rest := extra[4*w:]; len(rest) >= 4 {
 				j.val = binary.BigEndian.Uint32(rest)
 			} else {
@@ -272,7 +323,7 @@ func (c *COMCO) FrameArrived(f network.Frame) {
 		words += nw
 	}
 	d := c.allocDone()
-	d.base, d.length, d.corrupt = base, len(f.Payload), f.Corrupt
+	d.base, d.length, d.corrupt, d.fid = base, len(f.Payload), f.Corrupt, f.ID
 	c.s.After(arb+float64(words)*c.cfg.DMAWordTimeS, d.run)
 }
 

@@ -32,7 +32,7 @@ func TestTransmitInsertsHardwareStamp(t *testing.T) {
 	_ = nb
 	var storedAt uint32
 	stored := false
-	cb.OnRxStored(func(base uint32, length int, corrupt bool) {
+	cb.OnRxStored(func(_ uint64, base uint32, length int, corrupt bool) {
 		storedAt = base
 		stored = true
 	})
@@ -72,7 +72,7 @@ func TestTransmitInsertsHardwareStamp(t *testing.T) {
 func TestTransmitRawBypassesTriggers(t *testing.T) {
 	s, _, na, ca, nb, cb := rig(2)
 	stored := false
-	cb.OnRxStored(func(base uint32, length int, corrupt bool) { stored = true })
+	cb.OnRxStored(func(_ uint64, base uint32, length int, corrupt bool) { stored = true })
 	s.RunUntil(0.5)
 	p := csp.Packet{Kind: csp.KindCSP, Node: 1}
 	p.SetTxStamp(timefmt.StampFromTime(fixFromSeconds(0.123)))
@@ -95,7 +95,7 @@ func TestReceiveSlotsRotate(t *testing.T) {
 	s, _, na, ca, nb, cb := rig(3)
 	_ = nb
 	var bases []uint32
-	cb.OnRxStored(func(base uint32, length int, corrupt bool) { bases = append(bases, base) })
+	cb.OnRxStored(func(_ uint64, base uint32, length int, corrupt bool) { bases = append(bases, base) })
 	s.RunUntil(0.1)
 	for i := 0; i < 3; i++ {
 		p := csp.Packet{Kind: csp.KindCSP, Seq: uint16(i)}
@@ -117,7 +117,7 @@ func TestReceiveSlotsRotate(t *testing.T) {
 func TestShortFramesIgnored(t *testing.T) {
 	s, med, _, _, _, cb := rig(4)
 	stored := false
-	cb.OnRxStored(func(uint32, int, bool) { stored = true })
+	cb.OnRxStored(func(uint64, uint32, int, bool) { stored = true })
 	med.Send(network.Frame{Src: 0, Dst: network.Broadcast, Payload: make([]byte, 32)}, nil)
 	s.RunUntil(1)
 	if stored {
@@ -140,7 +140,7 @@ func TestCorruptFlagPropagates(t *testing.T) {
 	c2 := New(s, n2, med, Default82596(), "b")
 	_ = c1
 	sawCorrupt := false
-	c2.OnRxStored(func(_ uint32, _ int, corrupt bool) { sawCorrupt = corrupt })
+	c2.OnRxStored(func(_ uint64, _ uint32, _ int, corrupt bool) { sawCorrupt = corrupt })
 	p := csp.Packet{Kind: csp.KindCSP}
 	n1.CPUWrite(nti.TxHeaderAddr(0), p.Encode())
 	c1.Transmit(0, nil, network.Broadcast)
@@ -154,7 +154,7 @@ func TestExtraPayloadCarried(t *testing.T) {
 	s, _, na, ca, nb, cb := rig(6)
 	_ = nb
 	var gotLen int
-	cb.OnRxStored(func(_ uint32, length int, _ bool) { gotLen = length })
+	cb.OnRxStored(func(_ uint64, _ uint32, length int, _ bool) { gotLen = length })
 	p := csp.Packet{Kind: csp.KindNet}
 	na.CPUWrite(nti.TxHeaderAddr(0), p.Encode())
 	ca.Transmit(0, make([]byte, 100), network.Broadcast)
@@ -166,7 +166,7 @@ func TestExtraPayloadCarried(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	s, _, na, ca, _, cb := rig(7)
-	cb.OnRxStored(func(uint32, int, bool) {})
+	cb.OnRxStored(func(uint64, uint32, int, bool) {})
 	p := csp.Packet{Kind: csp.KindCSP}
 	na.CPUWrite(nti.TxHeaderAddr(0), p.Encode())
 	ca.Transmit(0, nil, network.Broadcast)

@@ -13,6 +13,7 @@ package gps
 
 import (
 	"ntisim/internal/sim"
+	"ntisim/internal/trace"
 )
 
 // FaultKind enumerates injectable receiver faults.
@@ -95,6 +96,18 @@ type Receiver struct {
 	out    func(Pulse)
 	ticker *sim.Ticker
 	pulses uint64
+
+	tr        *trace.Tracer
+	trNode    int
+	lastFault FaultKind
+}
+
+// SetTracer attaches an event tracer (nil detaches), attributing this
+// receiver's records to node id `node`. The receiver emits fault-onset
+// and fault-clear records at the pulse-generator granularity (1 s).
+func (r *Receiver) SetTracer(tr *trace.Tracer, node int) {
+	r.tr = tr
+	r.trNode = node
 }
 
 // New creates a receiver whose pulses are delivered to out. Pulses start
@@ -143,7 +156,26 @@ func (r *Receiver) emit() {
 	err := r.cfg.BiasS + r.rng.Uniform(-r.cfg.SawtoothS, r.cfg.SawtoothS)
 	label := sec
 	valid := true
-	if f := r.activeFault(); f != nil {
+	f := r.activeFault()
+	// Fault-episode transitions, observed at pulse granularity. Purely
+	// passive: no RNG draw, no scheduling — tracing cannot perturb the
+	// simulation.
+	cur, mag := FaultNone, 0.0
+	if f != nil {
+		cur, mag = f.Kind, f.Magnitude
+	}
+	if cur != r.lastFault {
+		if r.tr != nil {
+			if r.lastFault != FaultNone {
+				r.tr.Emit(trace.KindFaultClear, r.s.Now(), r.trNode, 0, 0, uint64(r.lastFault), 0)
+			}
+			if cur != FaultNone {
+				r.tr.Emit(trace.KindFaultOnset, r.s.Now(), r.trNode, 0, 0, uint64(cur), mag)
+			}
+		}
+		r.lastFault = cur
+	}
+	if f != nil {
 		switch f.Kind {
 		case FaultOutage:
 			return // no pulse at all

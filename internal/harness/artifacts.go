@@ -177,5 +177,19 @@ func (c *Campaign) WriteArtifacts(dir string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-cell trace artifacts (Spec.Trace campaigns). One file per
+	// cell, named by the stable cell index, written in grid order —
+	// byte-identical at any worker count because each cell's tracer is
+	// fed by its own single-threaded simulator.
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.Trace == nil {
+			continue
+		}
+		suffix := fmt.Sprintf(".cell-%03d.trace.jsonl", r.Cell)
+		if err := write(suffix, r.Trace.WriteJSONL); err != nil {
+			return nil, err
+		}
+	}
 	return paths, nil
 }

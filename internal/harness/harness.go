@@ -20,6 +20,7 @@ import (
 
 	"ntisim/internal/cluster"
 	"ntisim/internal/metrics"
+	"ntisim/internal/trace"
 )
 
 // Point is one parameter point of a campaign grid: a label, a
@@ -75,6 +76,15 @@ type Spec struct {
 	// Timeline keeps the per-sample timeline in each Result (heavier
 	// artifacts; used by fault studies that care about onset/recovery).
 	Timeline bool
+	// Trace attaches a cross-layer tracer to every cell's cluster and
+	// keeps it in Result.Trace; WriteArtifacts then adds one
+	// <name>.cell-NNN.trace.jsonl per cell. Each cell owns its own
+	// Tracer, fed by its own single-threaded simulator, so traces are
+	// byte-deterministic regardless of worker count.
+	Trace bool
+	// TraceOpts tunes the per-cell tracers when Trace is set (zero value
+	// = defaults: 16384-record rings, no dispatch/DMA-word records).
+	TraceOpts trace.Options
 
 	// Workers sizes the pool (default GOMAXPROCS).
 	Workers int
@@ -181,6 +191,11 @@ type Result struct {
 	Err string `json:"error,omitempty"`
 
 	Timeline []TimelinePoint `json:"timeline,omitempty"`
+
+	// Trace is the cell's cross-layer tracer (only when Spec.Trace).
+	// Excluded from the Result JSON — traces are written as their own
+	// per-cell JSONL artifacts, keeping the campaign JSONL stable.
+	Trace *trace.Tracer `json:"-"`
 }
 
 // Key matches Cell.Key for golden lookups.
@@ -279,6 +294,10 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 		cell.Point.Mutate(&cfg)
 	}
 	cfg.Seed = cell.Seed
+	if sp.Trace {
+		res.Trace = trace.New(sp.TraceOpts)
+		cfg.Tracer = res.Trace
+	}
 
 	c := cluster.New(cfg)
 	if sp.DelayProbes > 0 && len(c.Members) >= 2 {

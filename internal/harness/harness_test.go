@@ -242,3 +242,38 @@ func TestFaultAxisIsolation(t *testing.T) {
 		t.Fatal("base config was mutated")
 	}
 }
+
+// TestTraceDeterminism pins the tracing acceptance bound: with Trace
+// enabled, the same seed produces byte-identical per-cell trace
+// exports whether the campaign runs on 1 worker or many. Tracing is
+// purely passive — it consumes no randomness and schedules nothing —
+// so worker count must not leak into the records.
+func TestTraceDeterminism(t *testing.T) {
+	mk := func(workers int) Spec {
+		sp := testSpec(workers)
+		sp.Points = NodesAxis(2, 3).Points
+		sp.Seeds = []uint64{7}
+		sp.Trace = true
+		return sp
+	}
+	serial := Run(mk(1))
+	parallel := Run(mk(4))
+	for i, r := range serial.Results {
+		if r.Trace == nil || parallel.Results[i].Trace == nil {
+			t.Fatalf("cell %s: trace not captured", r.Key())
+		}
+		if r.Trace.Len() == 0 {
+			t.Fatalf("cell %s: empty trace", r.Key())
+		}
+		var a, b bytes.Buffer
+		if err := r.Trace.WriteJSONL(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel.Results[i].Trace.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("cell %s: trace bytes differ between 1 and 4 workers", r.Key())
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"ntisim/internal/nti"
 	"ntisim/internal/sim"
 	"ntisim/internal/timefmt"
+	"ntisim/internal/trace"
 	"ntisim/internal/utcsu"
 )
 
@@ -120,6 +121,17 @@ type Node struct {
 	stationOf func(uint16) int
 
 	comcoCfg comco.Config
+	tr       *trace.Tracer
+}
+
+// SetTracer attaches an event tracer (nil detaches) and propagates it
+// to every attached channel's COMCO. The node emits csp-send,
+// latch-read and csp-arrival records.
+func (n *Node) SetTracer(tr *trace.Tracer) {
+	n.tr = tr
+	for _, nc := range n.chans {
+		nc.comco.SetTracer(tr, int(n.ID))
+	}
 }
 
 type rxMetaEntry struct {
@@ -171,8 +183,11 @@ func (n *Node) AttachSegment(med *network.Medium) int {
 		comco: comco.NewChannel(n.Sim, n.NTI, med, n.comcoCfg, fmt.Sprintf("n%d.%d", n.ID, ch), ch),
 	}
 	n.chans = append(n.chans, nc)
-	nc.comco.OnRxStored(func(base uint32, length int, corrupt bool) {
-		n.frameStored(ch, base, length, corrupt)
+	if n.tr != nil {
+		nc.comco.SetTracer(n.tr, int(n.ID))
+	}
+	nc.comco.OnRxStored(func(fid uint64, base uint32, length int, corrupt bool) {
+		n.frameStored(ch, fid, base, length, corrupt)
 	})
 	if n.cfg.Mode == ModeNTI {
 		// Arm the RECEIVE transition interrupt that drives the
@@ -231,18 +246,22 @@ func (n *Node) sendCSPOn(ch int, p csp.Packet, dst int) {
 	n.seq++
 	p.Seq = n.seq
 	nc := n.chans[ch]
+	var fid uint64
 	switch n.cfg.Mode {
 	case ModeNTI:
 		slot := nc.txNext
 		nc.txNext = (nc.txNext + 1) % nti.TxHeadersPerCh
 		n.NTI.CPUWrite(nti.TxHeaderAddrCh(ch, slot), p.Encode())
-		nc.comco.Transmit(slot, nil, dst)
+		fid = nc.comco.Transmit(slot, nil, dst)
 	default:
 		st := n.U.Now()
 		am, ap := n.U.Alpha()
 		p.SetTxStamp(st)
 		p.TxAlphaM, p.TxAlphaP = am, ap
-		nc.comco.TransmitRaw(p.Encode(), dst)
+		fid = nc.comco.TransmitRaw(p.Encode(), dst)
+	}
+	if n.tr != nil {
+		n.tr.Emit(trace.KindCSPSend, n.Sim.Now(), int(n.ID), ch, fid, uint64(p.Round), 0)
 	}
 }
 
@@ -306,6 +325,9 @@ func (n *Node) stampMoveISR() {
 		binary.BigEndian.PutUint64(buf[:], uint64(stamp))
 		n.NTI.CPUWrite(base+csp.OffRxSave, buf[:])
 		n.rxMeta[base] = rxMetaEntry{alphaM: am, alphaP: ap, valid: true}
+		if n.tr != nil {
+			n.tr.Emit(trace.KindLatchRead, n.Sim.Now(), int(n.ID), ch, seq, uint64(base), stamp.Seconds())
+		}
 	}
 	n.NTI.EnableInts()
 }
@@ -328,7 +350,7 @@ func (n *Node) rxSaveRead(base uint32) (timefmt.Stamp, timefmt.Alpha, timefmt.Al
 
 // frameStored is the COMCO's reception-complete callback: it runs the
 // frame ISR on the CPU, then hands CSPs to the CI at task level.
-func (n *Node) frameStored(ch int, headerBase uint32, length int, corrupt bool) {
+func (n *Node) frameStored(ch int, fid uint64, headerBase uint32, length int, corrupt bool) {
 	slot := int(headerBase-nti.RxHeaderAddrCh(ch, 0)) / nti.HeaderSize
 	// The kernel's software ring pointer: the *next* trigger should
 	// belong to the slot after this one (the no-latch guess).
@@ -357,7 +379,7 @@ func (n *Node) frameStored(ch int, headerBase uint32, length int, corrupt bool) 
 		if err != nil {
 			return
 		}
-		n.CPU.RunTask(func() { n.dispatch(pkt, payload, headerBase, 0, isrStamp, isrAM, isrAP) })
+		n.CPU.RunTask(func() { n.dispatch(ch, fid, pkt, payload, headerBase, 0, isrStamp, isrAM, isrAP) })
 	})
 }
 
@@ -366,7 +388,7 @@ func (n *Node) frameStored(ch int, headerBase uint32, length int, corrupt bool) 
 // task dispatch it retries once before declaring the stamp lost (a real
 // driver polls the validity marker the same way — the hardware register
 // alone cannot be trusted once further CSPs may have arrived).
-func (n *Node) dispatch(pkt csp.Packet, payload []byte, headerBase uint32, attempt int,
+func (n *Node) dispatch(ch int, fid uint64, pkt csp.Packet, payload []byte, headerBase uint32, attempt int,
 	isrStamp timefmt.Stamp, isrAM, isrAP timefmt.Alpha) {
 	var hwStamp timefmt.Stamp
 	var hwAM, hwAP timefmt.Alpha
@@ -374,7 +396,7 @@ func (n *Node) dispatch(pkt csp.Packet, payload []byte, headerBase uint32, attem
 	if n.cfg.Mode == ModeNTI {
 		hwStamp, hwAM, hwAP, hwOK = n.rxSaveRead(headerBase)
 		if !hwOK && attempt < 2 {
-			n.CPU.RunTask(func() { n.dispatch(pkt, payload, headerBase, attempt+1, isrStamp, isrAM, isrAP) })
+			n.CPU.RunTask(func() { n.dispatch(ch, fid, pkt, payload, headerBase, attempt+1, isrStamp, isrAM, isrAP) })
 			return
 		}
 	}
@@ -411,6 +433,13 @@ func (n *Node) dispatch(pkt csp.Packet, payload []byte, headerBase uint32, attem
 		a.StampOK = true
 	}
 	n.ciDelivered++
+	if n.tr != nil {
+		v := 0.0
+		if a.StampOK {
+			v = a.RxStamp.Seconds()
+		}
+		n.tr.Emit(trace.KindCSPArrival, n.Sim.Now(), int(n.ID), ch, fid, uint64(pkt.Round), v)
+	}
 	n.ciHandler(a)
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ntisim/internal/sim"
+	"ntisim/internal/trace"
 )
 
 // Frame is one link-layer frame in flight.
@@ -24,6 +25,11 @@ type Frame struct {
 	Dst     int    // receiving station id, Broadcast for all
 	Payload []byte // link SDU (the CSP wire format or test data)
 	Corrupt bool   // set on delivery when the CRC check failed
+
+	// ID is the medium-assigned per-frame trace id (monotone from 1),
+	// the flow key that links every trace record of one frame's
+	// flight path. Simulation metadata, not on the wire.
+	ID uint64
 
 	// Timing trace, filled in by the medium (simulation metadata; real
 	// hardware has no access to these).
@@ -84,15 +90,23 @@ type pendingTx struct {
 type delivery struct {
 	m   *Medium
 	st  Station
+	id  int // receiving station id (trace metadata)
 	f   Frame
 	run func()
 }
 
 func (d *delivery) deliver() {
-	st, f := d.st, d.f
+	m, st, f, id := d.m, d.st, d.f, d.id
 	d.st = nil
 	d.f = Frame{}
-	d.m.freeDeliv = append(d.m.freeDeliv, d)
+	m.freeDeliv = append(m.freeDeliv, d)
+	if m.tr != nil {
+		corrupt := uint64(0)
+		if f.Corrupt {
+			corrupt = 1
+		}
+		m.tr.Emit(trace.KindFrameRx, m.s.Now(), id, 0, f.ID, corrupt, 0)
+	}
 	st.FrameArrived(f)
 }
 
@@ -114,6 +128,8 @@ type Medium struct {
 	partitioned bool
 	sent        uint64
 	dropped     uint64
+	nextID      uint64
+	tr          *trace.Tracer
 	bgStop      func()
 
 	// cur is the transmission currently waiting out arbitration; the
@@ -164,15 +180,25 @@ func (m *Medium) FrameDuration(n int) float64 {
 	return (float64(m.cfg.PreambleBits) + 8*float64(n)) / m.cfg.BitRateBps
 }
 
-// Send queues a frame for transmission. onAcquired, if non-nil, fires at
-// the moment serialization begins (the sender's COMCO starts pulling the
-// frame from memory around then — package comco builds on this hook).
-func (m *Medium) Send(f Frame, onAcquired func(at float64)) {
+// SetTracer attaches an event tracer (nil detaches). The medium emits
+// frame-tx / frame-lost / frame-rx records; it never consumes RNG or
+// changes timing on behalf of the tracer.
+func (m *Medium) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
+// Send queues a frame for transmission and returns the frame's
+// medium-assigned trace id (monotone from 1 per medium). onAcquired, if
+// non-nil, fires at the moment serialization begins (the sender's COMCO
+// starts pulling the frame from memory around then — package comco
+// builds on this hook).
+func (m *Medium) Send(f Frame, onAcquired func(at float64)) uint64 {
+	m.nextID++
+	f.ID = m.nextID
 	f.RequestedAt = m.s.Now()
 	m.queue = append(m.queue, pendingTx{frame: f, onAcquired: onAcquired})
 	if !m.busy {
 		m.startNext()
 	}
+	return f.ID
 }
 
 func (m *Medium) startNext() {
@@ -235,9 +261,15 @@ func (m *Medium) transmitCur() {
 	dur := m.FrameDuration(len(f.Payload))
 	end := start + dur
 	if m.partitioned {
+		if m.tr != nil {
+			m.tr.Emit(trace.KindFrameLost, start, f.Src, 0, f.ID, uint64(len(f.Payload)), dur)
+		}
 		m.sent++
 		m.s.At(end, m.startNextFn)
 		return
+	}
+	if m.tr != nil {
+		m.tr.Emit(trace.KindFrameTx, start, f.Src, 0, f.ID, uint64(len(f.Payload)), dur)
 	}
 	// Deliver to every other station at frame end + propagation.
 	for id, st := range m.stations {
@@ -249,6 +281,7 @@ func (m *Medium) transmitCur() {
 		}
 		d := m.allocDelivery()
 		d.st = st
+		d.id = id
 		d.f = f
 		d.f.DeliveredAt = end + m.cfg.PropDelayS
 		d.f.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)

@@ -119,6 +119,7 @@ func Generate(w io.Writer, title string, results []harness.Result, opt stats.Opt
 	writeConvergence(bw, agg, opt)
 	writeComparison(bw, agg)
 	writePlots(bw, agg)
+	writeTimelines(bw, results)
 
 	return bw.Flush()
 }

@@ -225,3 +225,70 @@ func TestNumericAxes(t *testing.T) {
 		t.Errorf("axes = %v, want [load nodes]", axes)
 	}
 }
+
+// TestTimelineSection: results carrying Spec.Timeline data render a
+// Timelines section with one precision chart per point and — when any
+// external reference CSPs were rejected (the GPS fault signature) — a
+// cumulative-rejection chart; results without timelines render nothing
+// extra, keeping pre-timeline reports byte-identical.
+func TestTimelineSection(t *testing.T) {
+	rs := fixtureResults()
+	var plain bytes.Buffer
+	if err := Generate(&plain, "tl", rs, stats.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "## Timelines") {
+		t.Fatal("Timelines section rendered without timeline data")
+	}
+
+	// Attach a timeline with a mid-window fault to the two seeds of one
+	// point: rejections start at t=4 (onset) and stop at t=8 (recovery).
+	for i := range rs {
+		if rs[i].Label != "n=2,load=0%" {
+			continue
+		}
+		var rej uint64
+		for s := 0; s <= 10; s++ {
+			tt := float64(s)
+			if tt >= 4 && tt < 8 {
+				rej++
+			}
+			rs[i].Timeline = append(rs[i].Timeline, harness.TimelinePoint{
+				T:           tt,
+				PrecisionS:  1e-6 + 1e-7*tt,
+				MaxAbsOffS:  2e-6,
+				Contained:   true,
+				ExtRejected: rej,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, "tl", rs, stats.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Timelines",
+		"### n=2,load=0%",
+		"precision over time — n=2,load=0%",
+		"external rejections — n=2,load=0%",
+		"seed 100",
+		"seed 101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline report missing %q", want)
+		}
+	}
+	// Only the point with timeline data gets a subsection.
+	if n := strings.Count(out, "### "); n != 1 {
+		t.Errorf("timeline subsections = %d, want 1", n)
+	}
+	// The section is deterministic like everything else.
+	var again bytes.Buffer
+	if err := Generate(&again, "tl", rs, stats.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("timeline rendering not deterministic")
+	}
+}

@@ -1,0 +1,73 @@
+// Timeline rendering: when a campaign was run with Spec.Timeline, each
+// cell carries per-sample evolution data. The report turns those into
+// per-point charts — precision over the measurement window, and (when
+// any external reference CSPs were rejected) the cumulative rejection
+// count whose slope changes mark GPS fault onset and recovery. Cells
+// without timeline data render nothing, so ordinary campaign reports
+// are byte-for-byte unchanged.
+
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ntisim/internal/harness"
+)
+
+// timelineGroups orders the results that carry timelines by point
+// label (grid order), grouping the seeds of each point into one chart.
+func timelineGroups(results []harness.Result) ([]string, map[string][]*harness.Result) {
+	var labels []string
+	groups := map[string][]*harness.Result{}
+	for i := range results {
+		r := &results[i]
+		if len(r.Timeline) == 0 || r.Err != "" {
+			continue
+		}
+		if _, ok := groups[r.Label]; !ok {
+			labels = append(labels, r.Label)
+		}
+		groups[r.Label] = append(groups[r.Label], r)
+	}
+	sort.Strings(labels)
+	for _, rs := range groups {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Seed < rs[j].Seed })
+	}
+	return labels, groups
+}
+
+func writeTimelines(w io.Writer, results []harness.Result) {
+	labels, groups := timelineGroups(results)
+	if len(labels) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "## Timelines\n\n")
+	fmt.Fprintf(w, "Per-sample evolution over the measurement window (one series per\nseed). Where external reference CSPs were rejected, the cumulative\nrejection count is plotted too: its slope turning on and off marks\nGPS fault onset and recovery.\n\n")
+	for _, label := range labels {
+		rs := groups[label]
+		var prec, rej []plotSeries
+		anyRej := false
+		for _, r := range rs {
+			ps := plotSeries{Name: fmt.Sprintf("seed %d", r.Seed)}
+			js := plotSeries{Name: fmt.Sprintf("seed %d", r.Seed)}
+			for _, p := range r.Timeline {
+				y := p.PrecisionS * 1e6
+				ps.Points = append(ps.Points, plotPoint{X: p.T, Y: y, Lo: y, Hi: y})
+				jy := float64(p.ExtRejected)
+				js.Points = append(js.Points, plotPoint{X: p.T, Y: jy, Lo: jy, Hi: jy})
+				if p.ExtRejected > 0 {
+					anyRej = true
+				}
+			}
+			prec = append(prec, ps)
+			rej = append(rej, js)
+		}
+		fmt.Fprintf(w, "### %s\n\n", label)
+		fmt.Fprintf(w, "%s\n\n", renderSVG("precision over time — "+label, "t [s]", "precision [µs]", prec))
+		if anyRej {
+			fmt.Fprintf(w, "%s\n\n", renderSVG("external rejections — "+label, "t [s]", "cumulative rejected CSPs", rej))
+		}
+	}
+}

@@ -15,7 +15,11 @@
 // Ticker manages its own handle the same way).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"ntisim/internal/trace"
+)
 
 // Event lifecycle states. A pooled Event cycles
 // free → pending → (firing|cancelled) → free.
@@ -74,6 +78,11 @@ type Simulator struct {
 	events     []*Event
 	free       []*Event
 	tombstones int
+
+	// tr is non-nil only when a tracer with dispatch recording is
+	// attached (see SetTracer); the fire loops then emit one
+	// KindEventFire record per dispatched event.
+	tr *trace.Tracer
 }
 
 // New creates a Simulator whose stochastic components derive their RNG
@@ -90,6 +99,19 @@ func (s *Simulator) RNG(label string) *RNG { return s.root.Derive(label) }
 
 // EventCount returns the number of events fired so far (for diagnostics).
 func (s *Simulator) EventCount() uint64 { return s.fired }
+
+// SetTracer attaches an event tracer. Dispatch records are only kept
+// when the tracer asks for them (trace.Options.Dispatch) — otherwise
+// the field stays nil and the fire loops pay a single never-taken
+// branch, keeping the traced-but-quiet hot path identical to the
+// untraced one.
+func (s *Simulator) SetTracer(tr *trace.Tracer) {
+	if tr != nil && tr.Options().Dispatch {
+		s.tr = tr
+	} else {
+		s.tr = nil
+	}
+}
 
 // alloc takes an Event from the free list, growing the arena only when
 // the list is empty (steady state never grows it).
@@ -206,6 +228,9 @@ func (s *Simulator) Run() float64 {
 		}
 		s.now = n.at
 		s.fired++
+		if s.tr != nil {
+			s.tr.Emit(trace.KindEventFire, s.now, -1, 0, n.seq, 0, 0)
+		}
 		e.state = stateFiring
 		e.fn()
 		if e.state == stateFiring { // not re-armed by its own callback
@@ -230,6 +255,9 @@ func (s *Simulator) RunUntil(horizon float64) float64 {
 		}
 		s.now = n.at
 		s.fired++
+		if s.tr != nil {
+			s.tr.Emit(trace.KindEventFire, s.now, -1, 0, n.seq, 0, 0)
+		}
 		e.state = stateFiring
 		e.fn()
 		if e.state == stateFiring {

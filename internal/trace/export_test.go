@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func sampleTracer() *Tracer {
+	tr := New(Options{})
+	tr.Emit(KindCSPSend, 0.5000, 0, 0, 1, 3, 0)
+	tr.Emit(KindTxTrigger, 0.5001, 0, 0, 1, 0x14, 0)
+	tr.Emit(KindFrameTx, 0.5002, 0, 0, 1, 64, 57.6e-6)
+	tr.Emit(KindFrameRx, 0.5003, 1, 0, 1, 0, 0)
+	tr.Emit(KindRxTrigger, 0.5004, 1, 0, 1, 0x101C, 0)
+	tr.Emit(KindRxDone, 0.5005, 1, 0, 1, 0x1000, 0)
+	tr.Emit(KindCSPArrival, 0.5006, 1, 0, 1, 3, 0.50007)
+	tr.Emit(KindRoundUpdate, 0.7500, 1, 0, 3, 2, 1.5e-6)
+	tr.Emit(KindFaultOnset, 1.0, 1, 0, 0, 2, 0.02)
+	return tr
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	orig := tr.Records()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost records: %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("record %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleTracer().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleTracer().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical tracers exported different bytes")
+	}
+}
+
+func TestPerfettoValidJSONAndFlows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleTracer().Records()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("perfetto output is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	phases := map[string]int{}
+	threadNames := 0
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if ph == "M" {
+			threadNames++
+		}
+	}
+	if threadNames != 2 {
+		t.Errorf("thread_name metadata for %d threads, want 2 (nodes 0 and 1)", threadNames)
+	}
+	// The frame flow must open (s), step (t) and close (f) across the
+	// flight-path chain.
+	if phases["s"] < 1 || phases["t"] < 1 || phases["f"] < 1 {
+		t.Errorf("flow phases = %v, want at least one each of s/t/f", phases)
+	}
+	if phases["X"] != 9 {
+		t.Errorf("%d slices, want one per record (9)", phases["X"])
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, sampleTracer().Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, sampleTracer().Records()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("perfetto export not byte-deterministic")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString("{\"seq\":0,\"t\":1,\"k\":\"no-such-kind\",\"node\":0}\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(bytes.NewBufferString("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
