@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden
+.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -54,6 +54,21 @@ trace-smoke:
 	mkdir -p build
 	$(GO) run ./cmd/ntitrace -json > build/trace-smoke.jsonl
 	diff -u cmd/ntitrace/testdata/smoke.trace.golden.jsonl build/trace-smoke.jsonl
+
+# discipline-smoke runs the clock-discipline shootout (every discipline
+# × ensemble + GPS fault matrix) and byte-diffs its comparison report —
+# including the head-to-head ranking table — against the committed
+# golden. Any diff means a discipline's dynamics changed. Regenerate
+# after an intentional change with `make discipline-golden`.
+discipline-smoke:
+	rm -rf build/discipline-smoke
+	mkdir -p build/discipline-smoke
+	$(GO) run ./cmd/nticampaign -preset disciplines -q -report build/discipline-smoke/report.md >/dev/null
+	diff -u cmd/nticampaign/testdata/disciplines.report.golden.md build/discipline-smoke/report.md
+
+# discipline-golden refreshes the committed discipline shootout golden.
+discipline-golden:
+	$(GO) run ./cmd/nticampaign -preset disciplines -q -report cmd/nticampaign/testdata/disciplines.report.golden.md >/dev/null
 
 # trace-golden refreshes the committed smoke trace golden.
 trace-golden:

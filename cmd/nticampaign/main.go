@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"ntisim/internal/cluster"
+	"ntisim/internal/discipline"
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 	"ntisim/internal/prof"
@@ -93,6 +94,37 @@ var presets = map[string]preset{
 			return harness.Cross(harness.NodesAxis(2, 8, 16, 32), harness.FoscAxis(1e6, 10e6, 20e6))
 		},
 	},
+	"disciplines": {
+		desc: "clock-discipline shootout: every discipline × (ensemble-only + the GPS fault matrix)",
+		points: func() []harness.Point {
+			var scenarios []harness.FaultScenario
+			for _, k := range harness.AllFaultKinds() {
+				scenarios = append(scenarios, harness.FaultScenario{
+					Kind: k, Magnitude: 20e-3, StartS: 40,
+				})
+			}
+			fault := harness.FaultAxis(3, scenarios...)
+			// Ensemble-only cell first: with no UTC anchor, interval
+			// validation cannot override the reference point, so the
+			// filter dynamics alone set the achievable precision. In the
+			// GPS cells validation dominates the reference — there the
+			// matrix measures fault robustness, not filter quality.
+			fault.Points = append([]harness.Point{{
+				Label:  "fault=ensemble",
+				Params: map[string]string{"fault": "ensemble", "policy": "internal"},
+			}}, fault.Points...)
+			return harness.Cross(harness.DisciplineAxis(), fault)
+		},
+		spec: func(s *harness.Spec) {
+			s.DelayProbes = 16
+			// Short warmup + timelines: the ranking report needs the
+			// convergence transient inside the measurement window.
+			s.WarmupS = 4
+			s.WindowS = 90
+			s.SampleEveryS = 1
+			s.Timeline = true
+		},
+	},
 }
 
 func presetChoices() string {
@@ -102,6 +134,10 @@ func presetChoices() string {
 	}
 	sort.Strings(names)
 	return strings.Join(names, "|")
+}
+
+func disciplineChoices() string {
+	return strings.Join(discipline.Names(), "|")
 }
 
 func refineChoices() string {
@@ -170,6 +206,7 @@ func main() {
 		writeGolden = flag.String("write-golden", "", "write/refresh the golden file from this run")
 		reportPath  = flag.String("report", "", "write a Markdown+SVG report of this run to this file")
 		traceCells  = flag.Bool("trace", false, "capture a cross-layer trace per cell (requires -out; adds one .cell-NNN.trace.jsonl per cell)")
+		discName    = flag.String("discipline", "", "force one clock discipline for every cell: "+disciplineChoices())
 		refine      = flag.String("refine", "", "adaptive refinement instead of the preset grid: axis=target, e.g. load=2e-6 (axes: "+refineChoices()+")")
 		refineTol   = flag.Float64("refine-tol", 0, "axis tolerance for -refine (default: range/64)")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
@@ -221,6 +258,29 @@ func main() {
 			fatalf("-trace needs -out (traces are written as per-cell artifacts)")
 		}
 		spec.Trace = true
+	}
+	if *discName != "" {
+		f, ok := discipline.Lookup(*discName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nticampaign: unknown discipline %q (choices: %s)\n", *discName, disciplineChoices())
+			os.Exit(2)
+		}
+		// Force the discipline after every point mutation so it wins
+		// even over a preset's own discipline axis.
+		for i := range spec.Points {
+			pt := &spec.Points[i]
+			inner := pt.Mutate
+			pt.Mutate = func(c *cluster.Config) {
+				if inner != nil {
+					inner(c)
+				}
+				c.Sync.Discipline = f
+			}
+			if pt.Params == nil {
+				pt.Params = map[string]string{}
+			}
+			pt.Params["discipline"] = *discName
+		}
 	}
 	if !*quiet {
 		spec.Progress = os.Stderr

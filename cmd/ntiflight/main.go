@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"ntisim/internal/discipline"
 	"ntisim/internal/gps"
 	"ntisim/internal/metrics"
 	"ntisim/internal/trace"
@@ -102,8 +103,12 @@ func main() {
 					e.T, e.Node, e.Round, e.Intervals)
 				continue
 			}
-			fmt.Printf("  t=%10.6f  node %d round %d: %d intervals, correction %sµs\n",
-				e.T, e.Node, e.Round, e.Intervals, metrics.Us(e.CorrectionS))
+			via := ""
+			if e.DisciplineID >= 0 {
+				via = " via " + discipline.NameOf(e.DisciplineID)
+			}
+			fmt.Printf("  t=%10.6f  node %d round %d: %d intervals, correction %sµs%s\n",
+				e.T, e.Node, e.Round, e.Intervals, metrics.Us(e.CorrectionS), via)
 		}
 	}
 

@@ -24,17 +24,19 @@ import (
 	"strings"
 
 	"ntisim/internal/cluster"
+	"ntisim/internal/discipline"
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 )
 
 // axes maps -param values to their sweep axis.
 var axes = map[string]func() harness.Axis{
-	"nodes":  func() harness.Axis { return harness.NodesAxis() },
-	"period": func() harness.Axis { return harness.PeriodAxis() },
-	"load":   func() harness.Axis { return harness.LoadAxis() },
-	"fosc":   func() harness.Axis { return harness.FoscAxis() },
-	"f":      func() harness.Axis { return harness.FAxis(10) },
+	"nodes":      func() harness.Axis { return harness.NodesAxis() },
+	"period":     func() harness.Axis { return harness.PeriodAxis() },
+	"load":       func() harness.Axis { return harness.LoadAxis() },
+	"fosc":       func() harness.Axis { return harness.FoscAxis() },
+	"f":          func() harness.Axis { return harness.FAxis(10) },
+	"discipline": func() harness.Axis { return harness.DisciplineAxis() },
 }
 
 func paramChoices() string {
@@ -48,6 +50,7 @@ func paramChoices() string {
 
 func main() {
 	param := flag.String("param", "nodes", "sweep parameter: "+paramChoices())
+	discName := flag.String("discipline", "", "clock discipline for every cell (default: the paper's interval algorithm): "+strings.Join(discipline.Names(), "|"))
 	seed := flag.Uint64("seed", 7, "random seed")
 	window := flag.Float64("window", 60, "measurement window [sim s]")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -61,9 +64,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	base := cluster.Defaults(8, *seed)
+	if *discName != "" {
+		f, ok := discipline.Lookup(*discName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ntisweep: unknown discipline %q (choices: %s)\n", *discName, strings.Join(discipline.Names(), "|"))
+			os.Exit(2)
+		}
+		base.Sync.Discipline = f
+	}
+
 	spec := harness.Spec{
 		Name:    "sweep-" + *param,
-		Base:    cluster.Defaults(8, *seed),
+		Base:    base,
 		Points:  axis().Points,
 		Seeds:   []uint64{*seed},
 		WindowS: *window,

@@ -53,6 +53,16 @@ func newRateSync(p Params) *rateSync {
 	}
 }
 
+// restart invalidates the current measurement epoch. Called when
+// something else (a discipline's rate command) changes the local rate
+// mid-epoch: stamps collected before the change no longer describe one
+// rate, so an estimate spanning them would be corrupt.
+func (r *rateSync) restart() {
+	clear(r.first)
+	clear(r.last)
+	r.haveEpoch = false
+}
+
 // observe records the hardware stamps of a received CSP.
 func (r *rateSync) observe(node uint16, round uint32, tx, rx timefmt.Stamp) {
 	if !r.haveEpoch {
@@ -86,9 +96,10 @@ func (r *rateSync) apply(round uint32) (corrPPB, rhoPPB int64, ok bool) {
 		}
 		rels = append(rels, (int64(dTx)-int64(dRx))*1_000_000_000/int64(dRx))
 	}
-	// Restart the measurement window regardless of outcome.
-	r.first = make(map[uint16]rateObs)
-	r.last = make(map[uint16]rateObs)
+	// Restart the measurement window regardless of outcome (clearing in
+	// place keeps the buckets: steady-state epochs allocate nothing).
+	clear(r.first)
+	clear(r.last)
 	r.haveEpoch = false
 	if len(rels) < 2 {
 		return 0, 0, false

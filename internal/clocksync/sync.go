@@ -2,6 +2,7 @@ package clocksync
 
 import (
 	"ntisim/internal/csp"
+	"ntisim/internal/discipline"
 	"ntisim/internal/interval"
 	"ntisim/internal/kernel"
 	"ntisim/internal/network"
@@ -24,6 +25,14 @@ type Params struct {
 	F int
 	// Convergence defaults to interval.OrthogonalAccuracy.
 	Convergence ConvergeFunc
+	// Discipline selects the clock-discipline algorithm each node runs
+	// (see internal/discipline): the factory is invoked once per
+	// synchronizer, so one Params value can serve a whole cluster. It
+	// generalizes Convergence — when nil, the synchronizer wraps
+	// Convergence (or, when that is also unset, the allocation-free
+	// orthogonal-accuracy baseline) as the discipline. Factories must
+	// be pure; campaign clones share them.
+	Discipline discipline.Factory
 	// DelayMin/DelayMax bound the true delay between the peers'
 	// timestamping points, from a priori knowledge or MeasureDelay.
 	DelayMin, DelayMax timefmt.Duration
@@ -118,7 +127,11 @@ type Stats struct {
 	PrimaryAccepted   uint64
 	PrimaryRejected   uint64
 	ExternalRejected  uint64
-	LastCorrection    timefmt.Duration
+	// RateCommands counts frequency adjustments commanded by the
+	// discipline (distinct from the [Scho97] rate-synchronization
+	// layer's own adjustments).
+	RateCommands   uint64
+	LastCorrection timefmt.Duration
 }
 
 // Synchronizer runs the interval-based algorithm on one node.
@@ -126,6 +139,11 @@ type Synchronizer struct {
 	node *kernel.Node
 	clk  Clock
 	p    Params
+
+	// disc is the clock discipline this node runs (never nil after
+	// New); discID is its stable trace wire ID.
+	disc   discipline.Discipline
+	discID int
 
 	round     uint32
 	collected map[uint32]map[uint16]peerEntry
@@ -135,6 +153,15 @@ type Synchronizer struct {
 	running   bool
 	bcastTm   Timer
 	compTm    Timer
+
+	// Per-round scratch, reused across converge calls so the steady
+	// state allocates nothing: the interval set handed to the
+	// discipline, the primary subset, the sorted peer-id order, and a
+	// free list of drained per-round collection maps.
+	scratchIvs   []interval.Interval
+	scratchPrims []interval.Interval
+	scratchIDs   []uint16
+	freeEntries  []map[uint16]peerEntry
 	// primaryUntil: the node advertises FlagPrimary while its round
 	// counter is below this (it recently validated an external source).
 	primaryUntil uint32
@@ -169,12 +196,27 @@ type peerEntry struct {
 // node's own UTCSU wrapped in UTCSUClock) and registers itself as the
 // node's CI handler.
 func New(node *kernel.Node, clk Clock, p Params) *Synchronizer {
+	userConv, userDisc := p.Convergence, p.Discipline
 	sy := &Synchronizer{
 		node:      node,
 		clk:       clk,
 		p:         p.withDefaults(),
 		collected: make(map[uint32]map[uint16]peerEntry),
 	}
+	switch {
+	case userDisc != nil:
+		sy.disc = userDisc()
+	case userConv != nil:
+		// A bespoke convergence function (e.g. the E14 ablations) rides
+		// as a wrapped interval discipline.
+		sy.disc = discipline.WrapConverge("", discipline.ConvergeFunc(userConv))
+	default:
+		// The default is the paper's algorithm through the
+		// allocation-free fast path (identical results to
+		// interval.OrthogonalAccuracy).
+		sy.disc = discipline.NewInterval()
+	}
+	sy.discID = discipline.ID(sy.disc.Name())
 	sy.rhoNow = sy.p.RhoPPB
 	if sy.p.RateSync {
 		sy.rate = newRateSync(sy.p)
@@ -182,6 +224,9 @@ func New(node *kernel.Node, clk Clock, p Params) *Synchronizer {
 	node.OnCSP(sy.onArrival)
 	return sy
 }
+
+// Discipline returns the clock discipline this synchronizer runs.
+func (sy *Synchronizer) Discipline() discipline.Discipline { return sy.disc }
 
 // Stats returns a copy of the accumulated statistics.
 func (sy *Synchronizer) Stats() Stats { return sy.stats }
@@ -293,12 +338,38 @@ func (sy *Synchronizer) onArrival(ar kernel.Arrival) {
 	iv = iv.DelayCompensate(sy.p.DelayMin, sy.p.DelayMax)
 	m := sy.collected[ar.Pkt.Round]
 	if m == nil {
-		m = make(map[uint16]peerEntry)
+		if n := len(sy.freeEntries); n > 0 {
+			m = sy.freeEntries[n-1]
+			sy.freeEntries = sy.freeEntries[:n-1]
+		} else {
+			m = make(map[uint16]peerEntry)
+		}
 		sy.collected[ar.Pkt.Round] = m
 	}
 	m[ar.Pkt.Node] = peerEntry{iv: iv, rx: rx, primary: ar.Pkt.Flags&csp.FlagPrimary != 0}
 	if sy.rate != nil {
 		sy.rate.observe(ar.Pkt.Node, ar.Pkt.Round, tx, rx)
+	}
+}
+
+// recycle clears a drained per-round collection map and parks it for
+// reuse (bounded, so transient round pile-ups don't pin memory).
+func (sy *Synchronizer) recycle(m map[uint16]peerEntry) {
+	if m == nil || len(sy.freeEntries) >= 4 {
+		return
+	}
+	clear(m)
+	sy.freeEntries = append(sy.freeEntries, m)
+}
+
+// sortU16 is an in-place insertion sort: the per-round peer sets are
+// small and this keeps the hot path free of sort.Slice's closure
+// allocation.
+func sortU16(a []uint16) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 
@@ -314,17 +385,28 @@ func (sy *Synchronizer) converge(k uint32) {
 	entries := sy.collected[k]
 	delete(sy.collected, k)
 	// Drop stale rounds that never converged (missed compute windows).
-	for r := range sy.collected {
+	for r, m := range sy.collected {
 		if r+2 < sy.round {
 			delete(sy.collected, r)
+			sy.recycle(m)
 		}
 	}
 
-	ivs := make([]interval.Interval, 0, len(entries)+1)
-	var prims []interval.Interval
+	ivs := sy.scratchIvs[:0]
+	prims := sy.scratchPrims[:0]
 	// Own interval: the local interval clock as of now.
 	ivs = append(ivs, interval.New(now, am.Duration(), ap.Duration()))
-	for _, e := range entries {
+	// Peers in ascending node-id order: the interval convergence
+	// functions are order-insensitive, but windowed disciplines must
+	// see a deterministic sequence regardless of map iteration order.
+	ids := sy.scratchIDs[:0]
+	for id := range entries {
+		ids = append(ids, id)
+	}
+	sortU16(ids)
+	sy.scratchIDs = ids
+	for _, id := range ids {
+		e := entries[id]
 		dt := now.Sub(e.rx)
 		if dt < 0 {
 			continue // clock stepped across the reception; discard
@@ -337,14 +419,25 @@ func (sy *Synchronizer) converge(k uint32) {
 		}
 		sy.stats.CSPsUsed++
 	}
+	sy.recycle(entries)
+	sy.scratchIvs = ivs
+	sy.scratchPrims = prims
 
-	out, ok := sy.p.Convergence(ivs, sy.p.F)
+	act, ok := sy.disc.Step(discipline.Sample{Round: k, Now: now, Intervals: ivs, F: sy.p.F})
 	if !ok {
 		sy.stats.ConvergenceFailed++
 		if sy.tr != nil {
 			sy.tr.Emit(trace.KindRoundFail, sy.node.Sim.Now(), int(sy.node.ID), 0, uint64(k), uint64(len(ivs)), 0)
 		}
 		return
+	}
+	out := act.Interval
+	if sy.tr != nil {
+		// The discipline decision record: which filter turned this
+		// round's len(ivs) samples into which proposed correction —
+		// before validation possibly overrides it.
+		sy.tr.Emit(trace.KindDiscipline, sy.node.Sim.Now(), int(sy.node.ID), 0,
+			uint64(k), uint64(sy.discID), out.Ref.Sub(now).Seconds())
 	}
 
 	// Interval-based clock validation [Sch94], two tiers:
@@ -402,6 +495,20 @@ func (sy *Synchronizer) converge(k uint32) {
 	if sy.tr != nil {
 		sy.tr.Emit(trace.KindRoundUpdate, sy.node.Sim.Now(), int(sy.node.ID), 0,
 			uint64(k), uint64(len(ivs)), sy.stats.LastCorrection.Seconds())
+	}
+
+	if act.RateDeltaPPB != 0 {
+		sy.clk.SetRatePPB(sy.clk.RatePPB() + act.RateDeltaPPB)
+		sy.stats.RateCommands++
+		if sy.rate != nil {
+			// The rate-sync epoch's stamps now straddle a rate change;
+			// restart so its next estimate measures one rate, not two.
+			sy.rate.restart()
+		}
+		if sy.tr != nil {
+			sy.tr.Emit(trace.KindRateAdjust, sy.node.Sim.Now(), int(sy.node.ID), 0,
+				uint64(k), uint64(sy.discID), float64(act.RateDeltaPPB))
+		}
 	}
 
 	if sy.rate != nil {

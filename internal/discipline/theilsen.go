@@ -1,0 +1,135 @@
+package discipline
+
+import (
+	"sort"
+
+	"ntisim/internal/interval"
+)
+
+// TheilSen is a robust trend estimator (scion-time's theil_sen shape):
+// it fits offset-vs-time over a sample window with the Theil-Sen
+// estimator — slope = median of all pairwise slopes, intercept = median
+// residual — which tolerates up to ~29% arbitrary outliers, so a burst
+// of delayed CSPs or one lying peer cannot bend the fit the way it
+// bends a least-squares line. The commanded correction is the fit's
+// prediction at the current instant; once per full window the fitted
+// slope is additionally commanded as a rate adjustment (median-based
+// rate steering), and the window restarts so stale-rate samples never
+// feed back.
+type TheilSen struct {
+	fz interval.Fuser
+
+	// Window is the regression depth in rounds (default 8, ≥ 3 to fit).
+	Window int
+	// RateGain scales the slope → rate command (default 0.5).
+	RateGain float64
+	// MaxRatePPB clamps the net commanded frequency adjustment
+	// (default 2000 ppb, the a priori TCXO drift bound): anti-windup,
+	// so repeated window commands cannot steer the clock further from
+	// nominal than the drift bound the accuracy logic assumes.
+	MaxRatePPB int64
+
+	totalPPB int64     // net rate commanded so far (anti-windup state)
+	ts, offs []float64 // sample window: local time [s], residual offset [s]
+	scratch  []float64 // pairwise slopes / residuals for the medians
+}
+
+// NewTheilSen returns a Theil-Sen discipline with defaults.
+func NewTheilSen() *TheilSen {
+	return &TheilSen{Window: 8, RateGain: 0.5, MaxRatePPB: 2000}
+}
+
+// Name implements Discipline.
+func (d *TheilSen) Name() string { return "theilsen" }
+
+// Reset implements Discipline.
+func (d *TheilSen) Reset() {
+	d.ts = d.ts[:0]
+	d.offs = d.offs[:0]
+	d.totalPPB = 0
+}
+
+// median sorts vals in place and returns the midpoint (mean of the two
+// central elements for even counts).
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Step implements Discipline.
+func (d *TheilSen) Step(s Sample) (Action, bool) {
+	mz, z, _, ok := measure(&d.fz, s)
+	if !ok {
+		return Action{}, false
+	}
+	tNow := s.Now.Seconds()
+	if len(d.ts) >= d.Window {
+		copy(d.ts, d.ts[1:])
+		copy(d.offs, d.offs[1:])
+		d.ts = d.ts[:len(d.ts)-1]
+		d.offs = d.offs[:len(d.offs)-1]
+	}
+	d.ts = append(d.ts, tNow)
+	d.offs = append(d.offs, z)
+
+	if len(d.ts) < 3 {
+		// Not enough points for a fit: behave like the raw baseline.
+		corr := z
+		for i := range d.offs {
+			d.offs[i] -= corr
+		}
+		return Action{Interval: mz.Rereference(refAt(s.Now, corr))}, true
+	}
+
+	// Theil-Sen slope: median of all pairwise slopes.
+	slopes := d.scratch[:0]
+	for i := 0; i < len(d.ts); i++ {
+		for j := i + 1; j < len(d.ts); j++ {
+			dt := d.ts[j] - d.ts[i]
+			if dt <= 0 {
+				continue
+			}
+			slopes = append(slopes, (d.offs[j]-d.offs[i])/dt)
+		}
+	}
+	d.scratch = slopes
+	if len(slopes) == 0 {
+		return Action{}, false
+	}
+	m := median(slopes)
+	// Intercept: median residual against the slope.
+	resid := d.scratch[:0]
+	for i := range d.ts {
+		resid = append(resid, d.offs[i]-m*(d.ts[i]-tNow))
+	}
+	d.scratch = resid
+	corr := median(resid) // fit evaluated at tNow
+
+	act := Action{}
+	if len(d.ts) >= d.Window {
+		// Window full: command the fitted residual drift as a rate
+		// adjustment and restart the window (its samples describe the
+		// pre-adjustment rate).
+		ppb := int64(-m * d.RateGain * 1e9)
+		if tot := d.totalPPB + ppb; tot > d.MaxRatePPB {
+			ppb = d.MaxRatePPB - d.totalPPB
+		} else if tot < -d.MaxRatePPB {
+			ppb = -d.MaxRatePPB - d.totalPPB
+		}
+		if ppb != 0 {
+			act.RateDeltaPPB = ppb
+			d.totalPPB += ppb
+			d.ts = d.ts[:0]
+			d.offs = d.offs[:0]
+		}
+	}
+	for i := range d.offs {
+		d.offs[i] -= corr
+	}
+	act.Interval = mz.Rereference(refAt(s.Now, corr))
+	return act, true
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ntisim/internal/cluster"
+	"ntisim/internal/discipline"
 	"ntisim/internal/gps"
 	"ntisim/internal/timefmt"
 )
@@ -110,6 +111,30 @@ func FAxis(nodes int, fs ...int) Axis {
 				c.Nodes = nodes
 				c.Sync.F = fv
 			},
+		})
+	}
+	return ax
+}
+
+// DisciplineAxis sweeps the clock-discipline algorithm (default: every
+// registered discipline, in discipline.Names order). It panics on a
+// name outside the registry — front-ends validate user input first
+// (see cmd/nticampaign's valid-choices error).
+func DisciplineAxis(names ...string) Axis {
+	if len(names) == 0 {
+		names = discipline.Names()
+	}
+	ax := Axis{Name: "discipline"}
+	for _, n := range names {
+		f, ok := discipline.Lookup(n)
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown discipline %q", n))
+		}
+		n := n
+		ax.Points = append(ax.Points, Point{
+			Label:  fmt.Sprintf("disc=%s", n),
+			Params: map[string]string{"discipline": n},
+			Mutate: func(c *cluster.Config) { c.Sync.Discipline = f },
 		})
 	}
 	return ax

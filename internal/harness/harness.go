@@ -136,6 +136,10 @@ type SyncTotals struct {
 	ConvergenceFailed uint64 `json:"convergence_failed"`
 	ExternalAccepted  uint64 `json:"external_accepted"`
 	ExternalRejected  uint64 `json:"external_rejected"`
+	// RateCommands counts discipline-commanded frequency adjustments
+	// (omitted for the offset-only disciplines, keeping older artifact
+	// lines byte-identical).
+	RateCommands uint64 `json:"rate_commands,omitempty"`
 }
 
 // TimelinePoint is one sample of a cell's evolution (kept only when
@@ -352,6 +356,7 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 		res.Sync.ConvergenceFailed += st.ConvergenceFailed
 		res.Sync.ExternalAccepted += st.ExternalAccepted
 		res.Sync.ExternalRejected += st.ExternalRejected
+		res.Sync.RateCommands += st.RateCommands
 	}
 	if ideal := res.Sync.CSPsSent * uint64(len(c.Members)-1); ideal > 0 {
 		res.CSPUse = float64(res.Sync.CSPsUsed) / float64(ideal)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ntisim/internal/cluster"
+	"ntisim/internal/discipline"
 	"ntisim/internal/gps"
 )
 
@@ -276,4 +277,46 @@ func TestTraceDeterminism(t *testing.T) {
 			t.Fatalf("cell %s: trace bytes differ between 1 and 4 workers", r.Key())
 		}
 	}
+}
+
+// TestDisciplineAxisDeterminism extends the core determinism guarantee
+// to the discipline axis: every registered discipline (including the
+// windowed, arrival-order-sensitive ones) run under 1 worker and many
+// workers yields byte-identical artifacts, and each cell reports the
+// discipline it ran in its params.
+func TestDisciplineAxisDeterminism(t *testing.T) {
+	mk := func(workers int) Spec {
+		sp := testSpec(workers)
+		sp.Points = Cross(DisciplineAxis(), NodesAxis(4))
+		sp.Seeds = []uint64{7}
+		return sp
+	}
+	serial := Run(mk(1))
+	parallel := Run(mk(4))
+	if len(serial.Results) != len(discipline.Names()) {
+		t.Fatalf("cells = %d, want one per discipline (%d)", len(serial.Results), len(discipline.Names()))
+	}
+	for _, r := range serial.Results {
+		if r.Err != "" {
+			t.Fatalf("cell %s errored: %s", r.Key(), r.Err)
+		}
+		if r.Params["discipline"] == "" {
+			t.Fatalf("cell %s lost its discipline param: %v", r.Key(), r.Params)
+		}
+	}
+	a, b := jsonl(t, serial), jsonl(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSONL differs between 1 and 4 workers with the discipline axis")
+	}
+}
+
+// TestDisciplineAxisPanicsOnUnknown: the axis is the last line of
+// defense after CLI validation; it must refuse silently falling back.
+func TestDisciplineAxisPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DisciplineAxis with unknown name should panic")
+		}
+	}()
+	DisciplineAxis("no-such-filter")
 }

@@ -117,6 +117,7 @@ func Generate(w io.Writer, title string, results []harness.Result, opt stats.Opt
 
 	writeAggregateTable(bw, agg)
 	writeConvergence(bw, agg, opt)
+	writeDisciplineRanking(bw, agg)
 	writeComparison(bw, agg)
 	writePlots(bw, agg)
 	writeTimelines(bw, results)
@@ -173,6 +174,76 @@ func writeConvergence(w io.Writer, agg []stats.PointStats, opt stats.Options) {
 		}
 		fmt.Fprintf(w, "| %s | %d | %s | [%s, %s] | %s | %s |\n",
 			p.Label, c.N, fs(c.Mean), fs(c.Lo), fs(c.Hi), fs(c.Min), fs(c.Max))
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeDisciplineRanking ranks clock disciplines head-to-head when the
+// campaign swept a "discipline" axis: every discipline's points are
+// pooled (equal weight per point) and ranked on mean precision, with
+// accuracy and convergence time alongside. Campaigns with fewer than
+// two distinct disciplines skip the section, so reports without the
+// axis are byte-identical to before it existed.
+func writeDisciplineRanking(w io.Writer, agg []stats.PointStats) {
+	type pool struct {
+		name      string
+		points    int
+		precSum   float64
+		worstPrec float64
+		accSum    float64
+		convSum   float64
+		convN     int
+	}
+	pools := map[string]*pool{}
+	var order []string
+	for _, p := range agg {
+		name, ok := p.Params["discipline"]
+		if !ok || p.Precision.N == 0 {
+			continue
+		}
+		g := pools[name]
+		if g == nil {
+			g = &pool{name: name}
+			pools[name] = g
+			order = append(order, name)
+		}
+		g.points++
+		g.precSum += p.Precision.Mean
+		if p.PrecisionWorst.Mean > g.worstPrec {
+			g.worstPrec = p.PrecisionWorst.Mean
+		}
+		g.accSum += p.Accuracy.Mean
+		if p.Convergence.N > 0 {
+			g.convSum += p.Convergence.Mean
+			g.convN++
+		}
+	}
+	if len(pools) < 2 {
+		return
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := pools[order[i]], pools[order[j]]
+		ma, mb := a.precSum/float64(a.points), b.precSum/float64(b.points)
+		if ma != mb {
+			return ma < mb
+		}
+		return a.name < b.name
+	})
+	fmt.Fprintf(w, "## Discipline ranking\n\n")
+	fmt.Fprintf(w, "Every discipline's points (each fault scenario × seed) pooled with\nequal weight per point and ranked on mean precision. Convergence\naverages only the points that reached the threshold (shown as\nreached/total).\n\n")
+	fmt.Fprintf(w, "| rank | discipline | points | mean prec | worst prec | mean \\|C−t\\| | conv [s] |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|\n")
+	for i, n := range order {
+		g := pools[n]
+		conv := "—"
+		if g.convN > 0 {
+			conv = fmt.Sprintf("%s (%d/%d)",
+				strconv.FormatFloat(g.convSum/float64(g.convN), 'f', 2, 64), g.convN, g.points)
+		}
+		fmt.Fprintf(w, "| %d | %s | %d | %s | %s | %s | %s |\n",
+			i+1, g.name, g.points,
+			us(g.precSum/float64(g.points)), us(g.worstPrec),
+			us(g.accSum/float64(g.points)), conv)
 	}
 	fmt.Fprintf(w, "\n")
 }

@@ -292,3 +292,75 @@ func TestTimelineSection(t *testing.T) {
 		t.Error("timeline rendering not deterministic")
 	}
 }
+
+// disciplineResults builds a 2-discipline × 2-fault fixture with known
+// ordering: kalman strictly beats interval on precision.
+func disciplineResults() []harness.Result {
+	var out []harness.Result
+	cell := 0
+	for _, disc := range []string{"interval", "kalman"} {
+		for _, fault := range []string{"none", "offset"} {
+			r := harness.Result{
+				Cell:    cell,
+				Label:   "disc=" + disc + ",fault=" + fault,
+				Seed:    1,
+				Params:  map[string]string{"discipline": disc, "fault": fault},
+				Samples: 30,
+			}
+			base := 2e-6
+			if disc == "kalman" {
+				base = 1e-6
+			}
+			if fault != "none" {
+				base *= 1.5
+			}
+			r.Precision.N = 30
+			r.Precision.Mean = base
+			r.Precision.Max = 2 * base
+			r.Accuracy.Max = 3 * base
+			r.Width.Mean = 4 * base
+			out = append(out, r)
+			cell++
+		}
+	}
+	return out
+}
+
+// TestDisciplineRanking: campaigns with a discipline axis get the
+// head-to-head ranking section, ordered by pooled mean precision.
+func TestDisciplineRanking(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(&buf, "d", disciplineResults(), stats.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## Discipline ranking") {
+		t.Fatalf("ranking section missing:\n%.600s", out)
+	}
+	k := strings.Index(out, "| 1 | kalman |")
+	i := strings.Index(out, "| 2 | interval |")
+	if k < 0 || i < 0 || k > i {
+		t.Errorf("ranking order wrong (kalman@%d interval@%d):\n%.1200s", k, i, out)
+	}
+}
+
+// TestDisciplineRankingSkipped: no discipline axis (or a single
+// discipline) must leave the report untouched — byte-compatibility of
+// the smoke golden depends on it.
+func TestDisciplineRankingSkipped(t *testing.T) {
+	var plain bytes.Buffer
+	if err := Generate(&plain, "p", fixtureResults(), stats.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "Discipline ranking") {
+		t.Error("ranking section appeared without a discipline axis")
+	}
+	single := disciplineResults()[:2] // interval only
+	var buf bytes.Buffer
+	if err := Generate(&buf, "s", single, stats.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Discipline ranking") {
+		t.Error("ranking section appeared for a single discipline")
+	}
+}

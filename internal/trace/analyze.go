@@ -223,18 +223,45 @@ type RoundEvent struct {
 	Intervals   uint64
 	CorrectionS float64
 	Failed      bool
+	// DisciplineID is the clock discipline that produced this round's
+	// correction (disc-step record, discipline.NameOf maps it back);
+	// -1 when the trace predates discipline records.
+	DisciplineID int
+	// ProposedS is the discipline's proposed correction before clock
+	// validation (meaningful only when DisciplineID >= 0).
+	ProposedS float64
 }
 
-// RoundTimeline extracts round updates and failures in order.
+// RoundTimeline extracts round updates and failures in order,
+// annotating each update with the disc-step record of the same
+// (node, round) when present.
 func RoundTimeline(recs []Record) []RoundEvent {
+	type disc struct {
+		id       int
+		proposed float64
+	}
+	steps := map[nodeRound]disc{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind == KindDiscipline {
+			k := nodeRound{r.Node, r.A}
+			if _, ok := steps[k]; !ok {
+				steps[k] = disc{id: int(r.B), proposed: r.V}
+			}
+		}
+	}
 	var out []RoundEvent
 	for i := range recs {
 		r := &recs[i]
 		switch r.Kind {
 		case KindRoundUpdate:
-			out = append(out, RoundEvent{T: r.T, Node: r.Node, Round: r.A, Intervals: r.B, CorrectionS: r.V})
+			e := RoundEvent{T: r.T, Node: r.Node, Round: r.A, Intervals: r.B, CorrectionS: r.V, DisciplineID: -1}
+			if d, ok := steps[nodeRound{r.Node, r.A}]; ok {
+				e.DisciplineID, e.ProposedS = d.id, d.proposed
+			}
+			out = append(out, e)
 		case KindRoundFail:
-			out = append(out, RoundEvent{T: r.T, Node: r.Node, Round: r.A, Intervals: r.B, Failed: true})
+			out = append(out, RoundEvent{T: r.T, Node: r.Node, Round: r.A, Intervals: r.B, Failed: true, DisciplineID: -1})
 		}
 	}
 	return out

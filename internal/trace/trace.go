@@ -89,6 +89,11 @@ const (
 	// KindFaultClear: a GPS receiver fault episode ended
 	// (B = gps.FaultKind of the cleared episode).
 	KindFaultClear
+	// KindDiscipline: the clock discipline turned one round's samples
+	// into a proposed correction (A = round, B = discipline wire ID —
+	// see discipline.NameOf — V = proposed correction in seconds,
+	// before clock validation).
+	KindDiscipline
 
 	numKinds
 )
@@ -113,6 +118,7 @@ var kindNames = [numKinds]string{
 	KindRateAdjust:  "rate-adjust",
 	KindFaultOnset:  "fault-onset",
 	KindFaultClear:  "fault-clear",
+	KindDiscipline:  "disc-step",
 }
 
 // kindArgs labels the A/B/V payload of each kind for the text
@@ -135,6 +141,7 @@ var kindArgs = [numKinds][3]string{
 	KindRateAdjust:  {"round", "", "ppb"},
 	KindFaultOnset:  {"", "fault", "mag"},
 	KindFaultClear:  {"", "fault", ""},
+	KindDiscipline:  {"round", "disc", "corr"},
 }
 
 // String returns the kind's stable wire name.
