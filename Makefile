@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden
+.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -65,6 +65,25 @@ discipline-smoke:
 	mkdir -p build/discipline-smoke
 	$(GO) run ./cmd/nticampaign -preset disciplines -q -report build/discipline-smoke/report.md >/dev/null
 	diff -u cmd/nticampaign/testdata/disciplines.report.golden.md build/discipline-smoke/report.md
+
+# shard-smoke runs the sharded WANs-of-LANs campaign with 4 shard
+# workers per multi-segment cell and byte-diffs its JSONL artifact
+# against the committed golden, which was generated with -shards 1
+# (sequential execution — the single-kernel baseline): the conservative
+# parallel kernel must be bit-identical to it at any worker count.
+# Regenerate after an intentional behavior change with `make
+# shard-golden`.
+shard-smoke:
+	rm -rf build/shard-smoke
+	$(GO) run ./cmd/nticampaign -preset sharded -shards 4 -q -out build/shard-smoke >/dev/null
+	diff -u cmd/nticampaign/testdata/sharded.golden.jsonl build/shard-smoke/campaign-sharded.jsonl
+
+# shard-golden refreshes the committed sharded campaign golden from a
+# sequential (-shards 1) run.
+shard-golden:
+	rm -rf build/shard-golden
+	$(GO) run ./cmd/nticampaign -preset sharded -shards 1 -q -out build/shard-golden >/dev/null
+	cp build/shard-golden/campaign-sharded.jsonl cmd/nticampaign/testdata/sharded.golden.jsonl
 
 # discipline-golden refreshes the committed discipline shootout golden.
 discipline-golden:

@@ -160,6 +160,21 @@ func BenchmarkE13HardwareMeasured(b *testing.B) {
 
 // BenchmarkClusterScaling measures simulator throughput: simulated
 // seconds of a synchronized n-node system per wall-clock second.
+//
+// The nodes-128/nodes-512 sub-benchmarks run the footnote-2
+// WANs-of-LANs topology under three engines on the same commit:
+//
+//   - flat / wolNN-single: the classic single-kernel paths (one flat
+//     LAN, and the legacy direct-attach multi-segment builder);
+//   - wolNN-shards01: the segment-sharded engine executed sequentially
+//     (byte-identical to any other shard count);
+//   - wolNN-shardsNN: one worker goroutine per segment.
+//
+// On a single-CPU host the sharded speedup is purely algorithmic —
+// per-segment event heaps and O(receivers) frame delivery instead of
+// one global heap with O(stations) fan-out; multicore hosts add
+// wall-clock parallelism on top. See BENCH_kernel.json's "sharded"
+// section.
 func BenchmarkClusterScaling(b *testing.B) {
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		n := n
@@ -171,6 +186,43 @@ func BenchmarkClusterScaling(b *testing.B) {
 			}
 			b.ReportMetric(30*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
 		})
+	}
+
+	const wolSimS = 10.0
+	runWol := func(name string, mk func() *cluster.Cluster) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := mk()
+				c.Start(1)
+				c.RunUntil(wolSimS)
+			}
+			b.ReportMetric(wolSimS*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+		})
+	}
+	for _, tc := range []struct{ nodes, segments int }{{128, 8}, {512, 16}} {
+		tc := tc
+		base := cluster.Defaults(tc.nodes, benchSeed)
+		base.Sync.F = 1 // keep gateways per link at F+1 = 2 as n grows
+		per := tc.nodes / tc.segments
+		if tc.nodes == 128 {
+			// The flat-LAN shape of the classic scaling series, at a size
+			// it was never built for: every CSP fans out to 127 receivers.
+			runWol(fmt.Sprintf("nodes-%03d-flat", tc.nodes), func() *cluster.Cluster {
+				return cluster.New(cluster.Defaults(tc.nodes, benchSeed))
+			})
+		}
+		runWol(fmt.Sprintf("nodes-%03d-wol%02d-single", tc.nodes, tc.segments), func() *cluster.Cluster {
+			return cluster.NewWANOfLANsGW(base, tc.segments, per, 2)
+		})
+		for _, shards := range []int{1, tc.segments} {
+			shards := shards
+			runWol(fmt.Sprintf("nodes-%03d-wol%02d-shards%02d", tc.nodes, tc.segments, shards), func() *cluster.Cluster {
+				cfg := base
+				cfg.Segments = tc.segments
+				cfg.Shards = shards
+				return cluster.New(cfg)
+			})
+		}
 	}
 }
 

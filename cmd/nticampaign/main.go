@@ -15,6 +15,8 @@
 //	nticampaign -preset smoke -write-golden testdata/smoke.golden.json
 //	nticampaign -refine load=2e-6            # bisect load until mean
 //	                                         # precision crosses 2 µs
+//	nticampaign -preset sharded -shards 4    # multi-segment cells on 4
+//	                                         # shard workers each
 //
 // Golden files are regenerated with -write-golden after an intentional
 // behavior change and committed; -check then gates CI against them.
@@ -23,7 +25,12 @@
 // renders the run through internal/report. -refine axis=target
 // replaces the preset grid with adaptive bisection of one numeric axis
 // (load|period|fosc|nodes) until the mean-precision crossover of
-// target is bracketed to -refine-tol.
+// target is bracketed to -refine-tol; -refine-ci additionally demands
+// the bootstrap 95% CI across seeds clear the target before a bracket
+// moves, stopping (noise-limited) when seeds can't resolve it.
+// -shards sets the worker-goroutine count of each multi-segment cell's
+// sharded kernel — a pure execution knob: artifacts are byte-identical
+// for every value (the determinism contract of internal/sim.Group).
 package main
 
 import (
@@ -94,6 +101,19 @@ var presets = map[string]preset{
 			return harness.Cross(harness.NodesAxis(2, 8, 16, 32), harness.FoscAxis(1e6, 10e6, 20e6))
 		},
 	},
+	"sharded": {
+		desc: "WANs-of-LANs segments × nodes grid on the segment-sharded kernel (shard-count byte-identity gate)",
+		points: func() []harness.Point {
+			return harness.Cross(harness.SegmentsAxis(1, 2, 4), harness.NodesAxis(8, 16))
+		},
+		spec: func(s *harness.Spec) {
+			// F=1 keeps gateways per WAN link at F+1 = 2; seg=1 cells run
+			// the classic single-kernel path next to the sharded ones.
+			s.Base.Sync.F = 1
+			s.WarmupS = 10
+			s.WindowS = 30
+		},
+	},
 	"disciplines": {
 		desc: "clock-discipline shootout: every discipline × (ensemble-only + the GPS fault matrix)",
 		points: func() []harness.Point {
@@ -151,9 +171,11 @@ func refineChoices() string {
 
 // runRefine executes adaptive bisection of one numeric axis until the
 // mean-precision crossover of target is bracketed, printing every
-// evaluation and the final bracket. It reports whether the crossover
-// was bracketed.
-func runRefine(spec harness.Spec, arg string, tol float64) bool {
+// evaluation and the final bracket. With ci set it uses the
+// variance-aware RefineCI: bisection only proceeds while the bootstrap
+// 95% CI of the metric clears the target. It reports whether the
+// crossover was bracketed (to tolerance, for plain refinement).
+func runRefine(spec harness.Spec, arg string, tol float64, ci bool) bool {
 	name, targetStr, ok := strings.Cut(arg, "=")
 	if !ok {
 		fatalf("-refine wants axis=target (e.g. load=2e-6), got %q", arg)
@@ -170,21 +192,42 @@ func runRefine(spec harness.Spec, arg string, tol float64) bool {
 		tol = (ax.Hi - ax.Lo) / 64
 	}
 
-	r := harness.Refine(spec, ax, target, tol, nil)
+	var r harness.Refinement
+	if ci {
+		r = harness.RefineCI(spec, ax, target, tol, nil, 0)
+	} else {
+		r = harness.Refine(spec, ax, target, tol, nil)
+	}
 
-	tb := metrics.Table{Header: []string{name, "mean prec [µs]", "cells"}}
+	header := []string{name, "mean prec [µs]", "cells"}
+	if ci {
+		header = []string{name, "mean prec [µs]", "95% CI [µs]", "cells"}
+	}
+	tb := metrics.Table{Header: header}
 	for _, e := range r.Evals {
+		if ci {
+			tb.AddRow(fmt.Sprintf("%g", e.Value), metrics.Us(e.Metric),
+				fmt.Sprintf("[%s, %s]", metrics.Us(e.CILo), metrics.Us(e.CIHi)),
+				fmt.Sprint(len(e.Results)))
+			continue
+		}
 		tb.AddRow(fmt.Sprintf("%g", e.Value), metrics.Us(e.Metric), fmt.Sprint(len(e.Results)))
 	}
 	tb.Fprint(os.Stdout)
 	if !r.Bracketed {
 		fmt.Printf("\nno crossover of %sµs inside %s ∈ [%g, %g] (metric %s..%sµs)\n",
 			metrics.Us(target), name, ax.Lo, ax.Hi, metrics.Us(r.Lo.Metric), metrics.Us(r.Hi.Metric))
+		if r.NoiseLimited {
+			fmt.Printf("noise-limited: a range end's 95%% CI straddles the target — add seeds (-seeds) to resolve\n")
+		}
 		return false
 	}
-	fmt.Printf("\ncrossover of %sµs bracketed: %s ∈ [%g, %g] (width %g ≤ tol %g), metric %sµs → %sµs, %d evaluations\n",
+	fmt.Printf("\ncrossover of %sµs bracketed: %s ∈ [%g, %g] (width %g, tol %g), metric %sµs → %sµs, %d evaluations\n",
 		metrics.Us(target), name, r.Lo.Value, r.Hi.Value, r.Hi.Value-r.Lo.Value, tol,
 		metrics.Us(r.Lo.Metric), metrics.Us(r.Hi.Metric), len(r.Evals))
+	if r.NoiseLimited {
+		fmt.Printf("noise-limited: stopped before tol — a midpoint's 95%% CI straddles the target; add seeds (-seeds) to refine further\n")
+	}
 	return true
 }
 
@@ -209,6 +252,8 @@ func main() {
 		discName    = flag.String("discipline", "", "force one clock discipline for every cell: "+disciplineChoices())
 		refine      = flag.String("refine", "", "adaptive refinement instead of the preset grid: axis=target, e.g. load=2e-6 (axes: "+refineChoices()+")")
 		refineTol   = flag.Float64("refine-tol", 0, "axis tolerance for -refine (default: range/64)")
+		refineCI    = flag.Bool("refine-ci", false, "variance-aware -refine: bisect only while the bootstrap 95% CI across seeds clears the target (use with -seeds > 1)")
+		shards      = flag.Int("shards", 0, "worker goroutines per multi-segment (sharded) cell; 0 = auto. Execution-only knob: artifacts are byte-identical for every value")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -247,6 +292,7 @@ func main() {
 		Seeds:   seeds,
 		Workers: *workers,
 	}
+	spec.Base.Shards = *shards
 	if p.spec != nil {
 		p.spec(&spec)
 	}
@@ -292,7 +338,7 @@ func main() {
 	}
 
 	if *refine != "" {
-		ok := runRefine(spec, *refine, *refineTol)
+		ok := runRefine(spec, *refine, *refineTol, *refineCI)
 		if err := stopProf(); err != nil {
 			fatalf("%v", err)
 		}

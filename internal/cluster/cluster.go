@@ -53,6 +53,28 @@ type Config struct {
 	// BackgroundLoad injects competing KI/NI-style traffic at this
 	// utilization (0..0.9).
 	BackgroundLoad float64
+	// Segments, when >= 2, makes New build the segment-sharded
+	// WANs-of-LANs topology (paper footnote 2) instead of a single
+	// LAN: Nodes is then the total regular-node count, split evenly
+	// across the segments (it must divide), with each segment's
+	// sub-simulator a shard of a conservatively synchronized
+	// sim.Group. See sharded.go and DESIGN.md §8.
+	Segments int
+	// GatewaysPerLink is the number of redundant gateway nodes on each
+	// inter-segment link of a sharded topology; 0 means Sync.F+1 (the
+	// minimum that survives an f-trimming convergence function).
+	GatewaysPerLink int
+	// WANDelayS is the one-way WAN propagation delay between adjacent
+	// segments of a sharded topology — and therefore the conservative
+	// lookahead of the parallel kernel. 0 means DefaultWANDelayS.
+	WANDelayS float64
+	// Shards is the worker-goroutine count driving the sharded
+	// topology's sub-simulators: 1 executes the shards sequentially
+	// (the single-kernel baseline), N runs up to N segments
+	// concurrently, 0 picks min(Segments, GOMAXPROCS). Results are
+	// byte-identical for every value — the shard decomposition is
+	// fixed by Segments; Shards only chooses execution parallelism.
+	Shards int
 	// Tracer, when non-nil, is wired through every layer of the cluster
 	// (simulation kernel, media, node kernels, synchronizers, GPS
 	// receivers). One Tracer belongs to exactly one cluster — like the
@@ -116,6 +138,10 @@ type Member struct {
 	// Segment is the LAN segment index in a WANs-of-LANs topology
 	// (-1 for gateway nodes); 0 for single-LAN clusters.
 	Segment int
+	// Shard is the sub-simulator the member executes on in a sharded
+	// topology (gateways are homed on their lower-numbered adjacent
+	// segment's shard); 0 for unsharded clusters.
+	Shard int
 	Osc     *oscillator.Oscillator
 	U       *utcsu.UTCSU
 	Node    *kernel.Node
@@ -137,20 +163,33 @@ func (m *Member) OffsetAndBounds() (offset, loEdge, hiEdge float64) {
 
 // Cluster is the assembled system.
 type Cluster struct {
+	// Sim is the simulator of an unsharded cluster (and shard 0 of a
+	// sharded one). Code that advances time or reads the clock should
+	// use the RunUntil/Now/EventCount wrappers, which dispatch to the
+	// Group for sharded clusters.
 	Sim *sim.Simulator
+	// Group is the conservative parallel composition of the per-segment
+	// sub-simulators; nil for unsharded clusters.
+	Group *sim.Group
 	// Med is the (first) medium; Media lists all segments in a
 	// WANs-of-LANs topology.
 	Med     *network.Medium
 	Media   []*network.Medium
 	Members []*Member
+	tracers []*trace.Tracer // per-shard tracers of a sharded cluster
 	cfg     Config
 }
 
 // New builds the cluster. Synchronizers are created but not started;
 // call Start (optionally after MeasureDelay has refined the bounds).
+// A Config with Segments >= 2 builds the sharded WANs-of-LANs
+// topology (sharded.go); otherwise a single shared LAN.
 func New(cfg Config) *Cluster {
 	if cfg.Nodes <= 0 {
 		panic("cluster: need at least one node")
+	}
+	if cfg.Segments >= 2 {
+		return newSharded(cfg)
 	}
 	if cfg.OscHz == 0 {
 		cfg.OscHz = 10e6
@@ -204,13 +243,64 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// Start launches every synchronizer at the given simulated time.
+// Start launches every synchronizer at the given simulated time. In a
+// sharded cluster each shard gets its own start event covering the
+// members homed on it.
 func (c *Cluster) Start(at float64) {
-	c.Sim.At(at, func() {
-		for _, m := range c.Members {
-			m.Sync.Start()
-		}
-	})
+	if c.Group == nil {
+		c.Sim.At(at, func() {
+			for _, m := range c.Members {
+				m.Sync.Start()
+			}
+		})
+		return
+	}
+	for i := 0; i < c.Group.Shards(); i++ {
+		shard := i
+		c.Group.Shard(shard).At(at, func() {
+			for _, m := range c.Members {
+				if m.Shard == shard {
+					m.Sync.Start()
+				}
+			}
+		})
+	}
+}
+
+// RunUntil advances the simulation (every shard, for sharded
+// clusters) to the horizon and returns the reached time.
+func (c *Cluster) RunUntil(horizon float64) float64 {
+	if c.Group != nil {
+		return c.Group.RunUntil(horizon)
+	}
+	return c.Sim.RunUntil(horizon)
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() float64 {
+	if c.Group != nil {
+		return c.Group.Now()
+	}
+	return c.Sim.Now()
+}
+
+// EventCount returns events fired so far, summed over shards.
+func (c *Cluster) EventCount() uint64 {
+	if c.Group != nil {
+		return c.Group.EventCount()
+	}
+	return c.Sim.EventCount()
+}
+
+// Trace returns the cluster's event trace: the configured tracer for
+// unsharded clusters, or the per-shard tracers merged into canonical
+// (time, shard, sequence) order for sharded ones. Nil when tracing is
+// off.
+func (c *Cluster) Trace() *trace.Tracer {
+	if c.Group == nil || c.cfg.Tracer == nil {
+		return c.cfg.Tracer
+	}
+	return trace.MergeShards(c.tracers)
 }
 
 // Snapshot samples all clocks simultaneously.
@@ -219,7 +309,7 @@ func (c *Cluster) Snapshot() metrics.ClusterSample {
 	for i, m := range c.Members {
 		nodes[i] = m
 	}
-	return metrics.Sample(c.Sim.Now(), nodes)
+	return metrics.Sample(c.Now(), nodes)
 }
 
 // RunSampled advances the simulation to `until`, sampling the cluster
@@ -227,7 +317,7 @@ func (c *Cluster) Snapshot() metrics.ClusterSample {
 func (c *Cluster) RunSampled(from, until, every float64) []metrics.ClusterSample {
 	var out []metrics.ClusterSample
 	for t := from; t <= until; t += every {
-		c.Sim.RunUntil(t)
+		c.RunUntil(t)
 		out = append(out, c.Snapshot())
 	}
 	return out
@@ -237,6 +327,9 @@ func (c *Cluster) RunSampled(from, until, every float64) []metrics.ClusterSample
 // returns the bounds (completing the simulation work synchronously).
 // Call before Start.
 func (c *Cluster) MeasureDelay(a, b, probes int) clocksync.DelayBounds {
+	if c.Group != nil && c.Members[a].Shard != c.Members[b].Shard {
+		panic("cluster: MeasureDelay probes cannot cross shards (RTT unicast is segment-local)")
+	}
 	c.Members[b].Node.EnableRTTResponder()
 	var res clocksync.DelayBounds
 	done := false
@@ -248,9 +341,9 @@ func (c *Cluster) MeasureDelay(a, b, probes int) clocksync.DelayBounds {
 		res = b
 		done = true
 	})
-	deadline := c.Sim.Now() + 60
-	for !done && c.Sim.Now() < deadline {
-		c.Sim.RunUntil(c.Sim.Now() + 0.5)
+	deadline := c.Now() + 60
+	for !done && c.Now() < deadline {
+		c.RunUntil(c.Now() + 0.5)
 	}
 	// Re-install the synchronizers' CI handlers that MeasureDelay
 	// displaced on member a.

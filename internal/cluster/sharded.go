@@ -1,0 +1,229 @@
+// Sharded WANs-of-LANs: the parallel-kernel topology builder.
+//
+// The footnote-2 topology is embarrassingly decomposable: LAN segments
+// interact only through gateway frames that cross a WAN link whose
+// propagation delay is known a priori. newSharded exploits that by
+// giving every segment its own sim.Simulator (its own event queue,
+// RNG universe and tracer) and composing them under a sim.Group whose
+// conservative lookahead is exactly the WAN delay — see DESIGN.md §8.
+//
+// Placement rules:
+//
+//   - A segment's nodes, medium and background load live on that
+//     segment's shard.
+//   - A gateway node is one NTI serving two segments, which couples
+//     its UTCSU, synchronizer and both COMCOs into one indivisible
+//     state machine; it is homed on the lower-numbered adjacent
+//     segment's shard. Its first channel attaches to the home medium
+//     directly; its second attaches to a network.LinkPort whose far
+//     end (a network.Relay) sits on the remote segment's medium, with
+//     frames carried across the shard boundary as Group.Post events
+//     delayed by the WAN propagation delay.
+//
+// Relayed CSPs get a PTP-transparent-clock-style correction (see
+// relayRewrite): without it, the extra link+WAN flight time would
+// break the LAN-scale [DelayMin, DelayMax] bounds receivers compensate
+// with, and the gateways' intervals would stop containing true time.
+//
+// Determinism: member construction order, RNG derivation
+// (sim.DeriveSeed(seed, "shard/i")), window boundaries and mailbox
+// flush order are all pure functions of the Config — never of the
+// worker count — so campaign artifacts are byte-identical for
+// Shards=1 and Shards=N. The 1-worker run IS the single-kernel
+// baseline: the same per-segment simulators executed sequentially.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+
+	"ntisim/internal/clocksync"
+	"ntisim/internal/csp"
+	"ntisim/internal/gps"
+	"ntisim/internal/interval"
+	"ntisim/internal/kernel"
+	"ntisim/internal/network"
+	"ntisim/internal/oscillator"
+	"ntisim/internal/sim"
+	"ntisim/internal/timefmt"
+	"ntisim/internal/trace"
+	"ntisim/internal/utcsu"
+)
+
+// DefaultWANDelayS is the one-way WAN propagation delay between
+// adjacent segments when Config.WANDelayS is zero: 1 ms, a
+// metropolitan-scale link, and a comfortable conservative lookahead
+// (hundreds of LAN frames fit in one window).
+const DefaultWANDelayS = 1e-3
+
+// newSharded builds the segment-sharded WANs-of-LANs cluster
+// (dispatched from New when cfg.Segments >= 2).
+func newSharded(cfg Config) *Cluster {
+	segs := cfg.Segments
+	if cfg.Nodes < segs || cfg.Nodes%segs != 0 {
+		panic(fmt.Sprintf("cluster: %d nodes do not divide evenly over %d segments", cfg.Nodes, segs))
+	}
+	per := cfg.Nodes / segs
+	gpl := cfg.GatewaysPerLink
+	if gpl <= 0 {
+		gpl = cfg.Sync.F + 1
+	}
+	wan := cfg.WANDelayS
+	if wan <= 0 {
+		wan = DefaultWANDelayS
+	}
+	workers := cfg.Shards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > segs {
+			workers = segs
+		}
+	}
+	if cfg.OscHz == 0 {
+		cfg.OscHz = 10e6
+	}
+
+	sims := make([]*sim.Simulator, segs)
+	tracers := make([]*trace.Tracer, segs)
+	media := make([]*network.Medium, segs)
+	for i := range sims {
+		sims[i] = sim.New(sim.DeriveSeed(cfg.Seed, fmt.Sprintf("shard/%d", i)))
+		if cfg.Tracer != nil {
+			tracers[i] = trace.New(cfg.Tracer.Options())
+			tracers[i].SetShard(i)
+			sims[i].SetTracer(tracers[i])
+		}
+		media[i] = network.NewMedium(sims[i], cfg.Medium)
+		media[i].SetTracer(tracers[i])
+	}
+	group := sim.NewGroup(wan, workers, sims)
+	c := &Cluster{
+		Sim:     sims[0],
+		Med:     media[0],
+		Media:   media,
+		Group:   group,
+		tracers: tracers,
+		cfg:     cfg,
+	}
+
+	id := uint16(0)
+	mkNode := func(shard int, bus network.Bus, segment int) *Member {
+		s := sims[shard]
+		tr := tracers[shard]
+		oc := oscillator.TCXO(cfg.OscHz)
+		if cfg.OscillatorFor != nil {
+			oc = cfg.OscillatorFor(int(id))
+		}
+		osc := oscillator.New(s, oc, fmt.Sprintf("wol%d", id))
+		u := utcsu.New(s, utcsu.Config{Osc: osc})
+		node := kernel.NewNode(s, id, u, bus, cfg.Kernel, cfg.COMCO)
+		m := &Member{Index: int(id), Segment: segment, Shard: shard, Osc: osc, U: u, Node: node}
+		var clk clocksync.Clock = clocksync.UTCSUClock{UTCSU: u}
+		if cfg.ClockFactory != nil {
+			clk = cfg.ClockFactory(u)
+		}
+		m.Sync = clocksync.New(node, clk, cfg.Sync)
+		if gc, hasGPS := cfg.GPS[int(id)]; hasGPS {
+			rho := cfg.Sync.RhoPPB
+			if rho == 0 {
+				rho = 2000
+			}
+			acc := timefmt.DurationFromSeconds(gc.AccuracyS)
+			if acc == 0 {
+				acc = timefmt.DurationFromSeconds(1e-6)
+			}
+			m.GPS = clocksync.AttachGPS(node, 0, acc, rho)
+			m.Rx = gps.New(s, gc, fmt.Sprintf("wol%d", id), m.GPS.OnPulse)
+			m.Sync.AddExternal(m.GPS.Interval)
+		}
+		if tr != nil {
+			node.SetTracer(tr)
+			m.Sync.SetTracer(tr)
+			if m.Rx != nil {
+				m.Rx.SetTracer(tr, int(id))
+			}
+		}
+		id++
+		c.Members = append(c.Members, m)
+		return m
+	}
+
+	for seg := 0; seg < segs; seg++ {
+		for i := 0; i < per; i++ {
+			mkNode(seg, media[seg], seg)
+		}
+	}
+
+	rw := relayRewrite(cfg.Sync.RhoPPB)
+	link := network.LinkConfig{
+		BitRateBps:   cfg.Medium.BitRateBps,
+		PreambleBits: cfg.Medium.PreambleBits,
+		InterframeS:  cfg.Medium.InterframeS,
+	}
+	for seg := 0; seg+1 < segs; seg++ {
+		home, remote := seg, seg+1
+		for g := 0; g < gpl; g++ {
+			gw := mkNode(home, media[home], -1)
+			var port *network.LinkPort
+			var relay *network.Relay
+			port = network.NewLinkPort(sims[home], link, func(f network.Frame) {
+				group.Post(home, remote, sims[home].Now()+wan, func() { relay.Inject(f) })
+			}, rw)
+			relay = network.NewRelay(media[remote], func(f network.Frame) {
+				group.Post(remote, home, sims[remote].Now()+wan, func() { port.Inject(f) })
+			}, rw)
+			gw.Node.AttachSegment(port)
+		}
+	}
+
+	if cfg.BackgroundLoad > 0 {
+		for i := range media {
+			media[i].StartBackgroundLoad(cfg.BackgroundLoad, 400)
+		}
+	}
+	return c
+}
+
+// relayRewrite is the transparent-clock correction applied to relayed
+// CSPs at their final acquisition (see network.RewriteFunc): advance
+// the embedded transmit stamp by the true time the frame spent beyond
+// a direct transmission, and widen its accuracy fields by the drift
+// the sender's clock may have accumulated over that span (the rewrite
+// adds true elapsed time where a hardware transparent clock would add
+// sender-clock elapsed time; the difference is bounded by ρ·elapsed,
+// plus one granule of rounding). After the rewrite, the frame's
+// timing geometry as seen by every receiver — stamp age vs.
+// [DelayMin, DelayMax] — is that of a locally transmitted CSP, and
+// interval containment survives the relay.
+//
+// The stamp words are safe to edit in flight: the CSP header checksum
+// deliberately skips the hardware-inserted stamp region
+// (csp.headerCheck mixes up to OffTxTrig and from OffEcho), and the
+// BTU checksum inside the macrostamp word is recomputed by
+// Stamp.Words.
+func relayRewrite(rhoPPB int64) network.RewriteFunc {
+	if rhoPPB == 0 {
+		rhoPPB = 2000
+	}
+	return func(payload []byte, elapsedS float64) {
+		if len(payload) < csp.HeaderSize || csp.Kind(payload[csp.OffKind]) != csp.KindCSP {
+			return
+		}
+		ts := binary.BigEndian.Uint32(payload[csp.OffTxStamp:])
+		ms := binary.BigEndian.Uint32(payload[csp.OffTxMacro:])
+		st, ok := timefmt.FromWords(ts, ms)
+		if !ok {
+			return // stamp never inserted (software modes pre-fill; NTI mode always has) or corrupt
+		}
+		d := timefmt.DurationFromSeconds(elapsedS)
+		w1, w2 := st.Add(d).Words()
+		binary.BigEndian.PutUint32(payload[csp.OffTxStamp:], w1)
+		binary.BigEndian.PutUint32(payload[csp.OffTxMacro:], w2)
+		widen := timefmt.AlphaFromDuration(interval.DriftDeterioration(d, rhoPPB) + 1)
+		am := timefmt.Alpha(binary.BigEndian.Uint16(payload[csp.OffTxAlpha:]))
+		ap := timefmt.Alpha(binary.BigEndian.Uint16(payload[csp.OffTxAlpha+2:]))
+		binary.BigEndian.PutUint16(payload[csp.OffTxAlpha:], uint16(am.AddSat(widen)))
+		binary.BigEndian.PutUint16(payload[csp.OffTxAlpha+2:], uint16(ap.AddSat(widen)))
+	}
+}

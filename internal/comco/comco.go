@@ -48,7 +48,7 @@ func Default82596() Config {
 type COMCO struct {
 	s       *sim.Simulator
 	nti     *nti.NTI
-	med     *network.Medium
+	med     network.Bus
 	cfg     Config
 	rng     *sim.RNG
 	station int
@@ -167,14 +167,14 @@ func (c *COMCO) allocDone() *rxDone {
 
 // New creates a controller on the NTI's channel 0, attaching it to the
 // medium as a station.
-func New(s *sim.Simulator, module *nti.NTI, med *network.Medium, cfg Config, label string) *COMCO {
+func New(s *sim.Simulator, module *nti.NTI, med network.Bus, cfg Config, label string) *COMCO {
 	return NewChannel(s, module, med, cfg, label, 0)
 }
 
 // NewChannel creates a controller on an arbitrary NTI channel — gateway
 // nodes run one controller per attached LAN segment, each wired to its
 // own SSU pair (paper §3.3).
-func NewChannel(s *sim.Simulator, module *nti.NTI, med *network.Medium, cfg Config, label string, channel int) *COMCO {
+func NewChannel(s *sim.Simulator, module *nti.NTI, med network.Bus, cfg Config, label string, channel int) *COMCO {
 	if cfg.DMAWordTimeS <= 0 {
 		cfg.DMAWordTimeS = 400e-9
 	}

@@ -38,6 +38,27 @@ func NodesAxis(ns ...int) Axis {
 	return ax
 }
 
+// SegmentsAxis sweeps the WANs-of-LANs segment count of the sharded
+// topology (1 = single LAN). The worker count (cluster.Config.Shards)
+// is deliberately not a point parameter: it cannot change results —
+// that's the sharded kernel's determinism contract — so it is set on
+// the Spec's base config, like Spec.Workers.
+func SegmentsAxis(segs ...int) Axis {
+	if len(segs) == 0 {
+		segs = []int{1, 2, 4, 8}
+	}
+	ax := Axis{Name: "segments"}
+	for _, s := range segs {
+		s := s
+		ax.Points = append(ax.Points, Point{
+			Label:  fmt.Sprintf("seg=%d", s),
+			Params: map[string]string{"segments": fmt.Sprint(s)},
+			Mutate: func(c *cluster.Config) { c.Segments = s },
+		})
+	}
+	return ax
+}
+
 // PeriodAxis sweeps the resynchronization round period in seconds,
 // scaling the convergence compute delay with it.
 func PeriodAxis(ps ...float64) Axis {

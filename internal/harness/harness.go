@@ -310,13 +310,13 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 			m.Sync.SetDelayBounds(b)
 		}
 	}
-	c.Start(c.Sim.Now() + 1)
-	c.Sim.RunUntil(c.Sim.Now() + sp.WarmupS)
+	c.Start(c.Now() + 1)
+	c.RunUntil(c.Now() + sp.WarmupS)
 
 	var prec, acc, width metrics.Series
-	begin := c.Sim.Now()
+	begin := c.Now()
 	for t := begin; t <= begin+sp.WindowS; t += sp.SampleEveryS {
-		c.Sim.RunUntil(t)
+		c.RunUntil(t)
 		cs := c.Snapshot()
 		prec.Add(cs.Precision)
 		acc.Add(cs.MaxAbsOffset)
@@ -338,7 +338,7 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 				er += st.ExternalRejected
 			}
 			res.Timeline = append(res.Timeline, TimelinePoint{
-				T:           c.Sim.Now() - begin,
+				T:           c.Now() - begin,
 				PrecisionS:  cs.Precision,
 				MaxAbsOffS:  cs.MaxAbsOffset,
 				Contained:   cs.Contained,
@@ -364,7 +364,12 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	res.Precision = prec.Stats()
 	res.Accuracy = acc.Stats()
 	res.Width = width.Stats()
-	res.Events = c.Sim.EventCount()
-	res.SimS = c.Sim.Now()
+	res.Events = c.EventCount()
+	res.SimS = c.Now()
+	if sp.Trace {
+		// Sharded clusters trace per shard; Trace() returns the merged
+		// canonical-order tracer (the configured one for unsharded).
+		res.Trace = c.Trace()
+	}
 	return res
 }

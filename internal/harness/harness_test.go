@@ -310,6 +310,90 @@ func TestDisciplineAxisDeterminism(t *testing.T) {
 	}
 }
 
+// shardedSpec is a WANs-of-LANs campaign whose cells run the
+// segment-sharded parallel kernel: the base topology is 4 nodes over 2
+// segments (plus F+1 = 2 gateways) and `shards` sets the worker
+// goroutine count of each cell's sim.Group. The segments axis also
+// covers seg=1, so every run exercises the classic single-kernel path
+// next to the sharded one.
+func shardedSpec(shards int) Spec {
+	base := cluster.Defaults(4, 1)
+	base.Sync.F = 1
+	base.Segments = 2
+	base.Shards = shards
+	return Spec{
+		Name:         "sharded-test",
+		Base:         base,
+		Points:       Cross(DisciplineAxis(), SegmentsAxis(1, 2)),
+		Seeds:        []uint64{7},
+		WarmupS:      4,
+		WindowS:      8,
+		SampleEveryS: 1,
+		DelayProbes:  4,
+		Trace:        true,
+		Workers:      2,
+	}
+}
+
+// TestShardedByteIdentityOverDisciplineGrid is the tentpole acceptance
+// gate at campaign level: over the full discipline grid, a sharded
+// campaign produces byte-identical JSONL and per-cell merged-trace
+// artifacts whether each cluster's segment shards run on 1 worker
+// goroutine (the single-kernel baseline) or N. Worker count is a pure
+// execution knob — it must never leak into results.
+func TestShardedByteIdentityOverDisciplineGrid(t *testing.T) {
+	serial := Run(shardedSpec(1))
+	parallel := Run(shardedSpec(2))
+	want := len(discipline.Names()) * 2 // × segments {1, 2}
+	if len(serial.Results) != want {
+		t.Fatalf("cells = %d, want %d", len(serial.Results), want)
+	}
+	for _, r := range serial.Results {
+		if r.Err != "" {
+			t.Fatalf("cell %s errored: %s", r.Key(), r.Err)
+		}
+	}
+	a, b := jsonl(t, serial), jsonl(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSONL differs between 1-worker and 2-worker shard execution")
+	}
+	for i, r := range serial.Results {
+		var x, y bytes.Buffer
+		if err := r.Trace.WriteJSONL(&x); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel.Results[i].Trace.WriteJSONL(&y); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(x.Bytes(), y.Bytes()) {
+			t.Fatalf("cell %s: merged trace bytes differ between 1 and 2 shard workers", r.Key())
+		}
+	}
+}
+
+// TestShardedCampaignRace layers every concurrency mechanism at once —
+// the harness worker pool outside, each cell's sim.Group shard workers
+// inside, up to a 3-segment gateway chain — and just demands clean
+// completion. Its real assertions come from the race detector: make ci
+// runs this package under -race.
+func TestShardedCampaignRace(t *testing.T) {
+	sp := shardedSpec(3)
+	sp.Trace = false
+	sp.Points = Cross(SegmentsAxis(2, 3), NodesAxis(6))
+	c := Run(sp)
+	if got := len(c.Results); got != 2 {
+		t.Fatalf("cells = %d, want 2", got)
+	}
+	for _, r := range c.Results {
+		if r.Err != "" {
+			t.Fatalf("cell %s errored: %s", r.Key(), r.Err)
+		}
+		if r.Samples == 0 || r.Sync.CSPsSent == 0 {
+			t.Fatalf("cell %s ran empty (samples=%d, csps=%d)", r.Key(), r.Samples, r.Sync.CSPsSent)
+		}
+	}
+}
+
 // TestDisciplineAxisPanicsOnUnknown: the axis is the last line of
 // defense after CLI validation; it must refuse silently falling back.
 func TestDisciplineAxisPanicsOnUnknown(t *testing.T) {

@@ -8,7 +8,13 @@
 
 package harness
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ntisim/internal/sim"
+)
 
 // NumericAxis is a continuously refinable sweep parameter: a point
 // factory over a scalar value plus the default search range.
@@ -43,9 +49,27 @@ func StandardNumericAxes() map[string]NumericAxis {
 // Evaluation is one refined axis value: the cells run at that value
 // (all seeds) and the aggregated metric the bisection steered by.
 type Evaluation struct {
-	Value   float64
-	Metric  float64
-	Results []Result
+	Value  float64
+	Metric float64
+	// CILo/CIHi is the bootstrap 95% confidence interval of Metric
+	// across seeds. RefineCI steers by it; Refine collapses it to
+	// [Metric, Metric].
+	CILo, CIHi float64
+	Results    []Result
+}
+
+// Clears reports whether the evaluation's CI lies entirely on one side
+// of target (above = CILo ≥ target, below = CIHi < target). ok is
+// false when the CI straddles target — the seed sample cannot resolve
+// which side this value is on.
+func (e Evaluation) Clears(target float64) (above, ok bool) {
+	if e.CILo >= target {
+		return true, true
+	}
+	if e.CIHi < target {
+		return false, true
+	}
+	return false, false
 }
 
 // Refinement is the outcome of an adaptive-refinement run.
@@ -61,6 +85,11 @@ type Refinement struct {
 	// ≤ Tol (or no untried integer remains for an Integer axis).
 	Lo, Hi    Evaluation
 	Bracketed bool
+	// NoiseLimited is set by RefineCI when bisection stopped because an
+	// evaluation's bootstrap CI straddled the target: the crossover is
+	// bracketed (if Bracketed) but cannot be narrowed further at this
+	// seed count — the fix is more seeds, not more midpoints.
+	NoiseLimited bool
 }
 
 // MeanPrecision is the default refinement metric: the mean across
@@ -93,9 +122,142 @@ func Refine(spec Spec, ax NumericAxis, target, tol float64, metric func([]Result
 		sp := spec
 		sp.Points = []Point{ax.Point(v)}
 		c := Run(sp)
-		return Evaluation{Value: v, Metric: metric(c.Results), Results: c.Results}
+		m := metric(c.Results)
+		return Evaluation{Value: v, Metric: m, CILo: m, CIHi: m, Results: c.Results}
 	}
 	return refineLoop(ax, target, tol, eval)
+}
+
+// DefaultResamples is RefineCI's bootstrap resample count when the
+// caller passes 0.
+const DefaultResamples = 1000
+
+// RefineCI is the variance-aware Refine: bisection decisions use the
+// bootstrap 95% confidence interval of the metric across seeds rather
+// than its point estimate. An evaluation only moves a bracket end when
+// its whole CI clears the target; when a CI straddles the target the
+// run stops with NoiseLimited set, because at that point another
+// midpoint would be steering on noise — the honest next step is more
+// seeds, not a narrower bracket. With a single seed the CI collapses
+// to the mean and RefineCI degenerates to Refine.
+//
+// The bootstrap RNG is derived from Base.Seed, the axis name and the
+// axis value, never from wall clock, so refinement reports stay
+// byte-deterministic.
+func RefineCI(spec Spec, ax NumericAxis, target, tol float64, metric func([]Result) float64, resamples int) Refinement {
+	if metric == nil {
+		metric = MeanPrecision
+	}
+	if resamples <= 0 {
+		resamples = DefaultResamples
+	}
+	eval := func(v float64) Evaluation {
+		sp := spec
+		sp.Points = []Point{ax.Point(v)}
+		c := Run(sp)
+		e := Evaluation{Value: v, Metric: metric(c.Results), Results: c.Results}
+		rng := sim.NewRNG(sim.DeriveSeed(sp.Base.Seed,
+			fmt.Sprintf("refine-ci/%s/%x", ax.Name, math.Float64bits(v))))
+		e.CILo, e.CIHi = metricCI(c.Results, metric, resamples, rng)
+		return e
+	}
+	return refineLoopCI(ax, target, tol, eval)
+}
+
+// refineLoopCI is the CI-aware bisection engine behind RefineCI, split
+// out (like refineLoop) so tests can drive it with synthetic
+// evaluations carrying hand-built confidence intervals.
+func refineLoopCI(ax NumericAxis, target, tol float64, eval func(v float64) Evaluation) Refinement {
+	r := Refinement{Axis: ax.Name, Target: target, Tol: tol}
+	lo, hi := eval(ax.Lo), eval(ax.Hi)
+	r.Evals = append(r.Evals, lo, hi)
+	r.Lo, r.Hi = lo, hi
+	loAbove, loOK := lo.Clears(target)
+	hiAbove, hiOK := hi.Clears(target)
+	if !loOK || !hiOK {
+		// A range end already straddles the target: no crossover
+		// direction can be established at this seed count.
+		r.NoiseLimited = true
+		return r
+	}
+	if loAbove == hiAbove || math.IsNaN(lo.Metric) || math.IsNaN(hi.Metric) {
+		return r // no crossover inside the range
+	}
+	r.Bracketed = true
+	for hi.Value-lo.Value > tol {
+		mv := (lo.Value + hi.Value) / 2
+		if ax.Integer {
+			mv = math.Round(mv)
+			if mv == lo.Value || mv == hi.Value {
+				break
+			}
+		}
+		m := eval(mv)
+		r.Evals = append(r.Evals, m)
+		mAbove, mOK := m.Clears(target)
+		if !mOK {
+			r.NoiseLimited = true
+			break
+		}
+		if mAbove == loAbove {
+			lo = m
+		} else {
+			hi = m
+		}
+	}
+	r.Lo, r.Hi = lo, hi
+	return r
+}
+
+// metricCI bootstraps the 95% CI of the metric over per-seed
+// observations: each seed's cells form one observation (metric applied
+// to that seed's result slice), resampled with replacement. Mirrors
+// internal/stats' percentile bootstrap, reimplemented here because
+// stats imports harness and Go forbids the cycle.
+func metricCI(rs []Result, metric func([]Result) float64, resamples int, rng *sim.RNG) (lo, hi float64) {
+	// Group results by seed, preserving first-seen (seed-major grid)
+	// order so the observation vector is deterministic.
+	var seeds []uint64
+	bySeed := map[uint64][]Result{}
+	for _, r := range rs {
+		if _, seen := bySeed[r.Seed]; !seen {
+			seeds = append(seeds, r.Seed)
+		}
+		bySeed[r.Seed] = append(bySeed[r.Seed], r)
+	}
+	obs := make([]float64, 0, len(seeds))
+	for _, s := range seeds {
+		if v := metric(bySeed[s]); !math.IsNaN(v) {
+			obs = append(obs, v)
+		}
+	}
+	if len(obs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if len(obs) == 1 {
+		return obs[0], obs[0]
+	}
+	n := len(obs)
+	means := make([]float64, resamples)
+	for b := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += obs[rng.Intn(n)]
+		}
+		means[b] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	rank := func(p float64) int {
+		i := int(p*float64(resamples-1) + 0.5)
+		if i < 0 {
+			i = 0
+		}
+		if i >= resamples {
+			i = resamples - 1
+		}
+		return i
+	}
+	return means[rank(0.025)], means[rank(0.975)]
 }
 
 // refineLoop is the pure bisection engine behind Refine, split out so

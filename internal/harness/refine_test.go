@@ -94,6 +94,114 @@ func TestRefineIntegerAxis(t *testing.T) {
 	}
 }
 
+// TestRefineCITightIntervalsBisectNormally: when every CI clears the
+// target (near-zero seed noise), the variance-aware loop behaves
+// exactly like plain bisection — bracketed to tolerance, not
+// noise-limited.
+func TestRefineCITightIntervalsBisectNormally(t *testing.T) {
+	eval := func(v float64) Evaluation {
+		m := 0.5e-6 + 2e-6*v // crosses 1.5e-6 at v = 0.5
+		return Evaluation{Value: v, Metric: m, CILo: m - 1e-12, CIHi: m + 1e-12}
+	}
+	r := refineLoopCI(syntheticAxis(0, 0.9, false), 1.5e-6, 1e-3, eval)
+	if !r.Bracketed || r.NoiseLimited {
+		t.Fatalf("tight-CI run: bracketed=%v noiseLimited=%v", r.Bracketed, r.NoiseLimited)
+	}
+	if r.Hi.Value-r.Lo.Value > 1e-3 {
+		t.Errorf("bracket width %g > tol", r.Hi.Value-r.Lo.Value)
+	}
+	if r.Lo.Value > 0.5 || r.Hi.Value < 0.5 {
+		t.Errorf("bracket [%g, %g] excludes the true crossing 0.5", r.Lo.Value, r.Hi.Value)
+	}
+}
+
+// TestRefineCIStopsWhenNoiseLimited: a CI that straddles the target at
+// the first midpoint must stop the bisection immediately — the bracket
+// stays valid (the ends cleared) but refining further would steer on
+// noise.
+func TestRefineCIStopsWhenNoiseLimited(t *testing.T) {
+	const halfWidth = 0.2
+	eval := func(v float64) Evaluation {
+		return Evaluation{Value: v, Metric: v, CILo: v - halfWidth, CIHi: v + halfWidth}
+	}
+	// Ends: 0±0.2 < 0.5 and 1±0.2 > 0.5 both clear; midpoint 0.5±0.2
+	// straddles.
+	r := refineLoopCI(syntheticAxis(0, 1, false), 0.5, 1e-3, eval)
+	if !r.Bracketed {
+		t.Fatal("ends cleared on opposite sides: crossover should be bracketed")
+	}
+	if !r.NoiseLimited {
+		t.Fatal("straddling midpoint CI must set NoiseLimited")
+	}
+	if len(r.Evals) != 3 {
+		t.Errorf("evals = %d, want 3 (2 ends + the straddling midpoint)", len(r.Evals))
+	}
+	if r.Lo.Value != 0 || r.Hi.Value != 1 {
+		t.Errorf("bracket = [%g, %g], want the untightened [0, 1]", r.Lo.Value, r.Hi.Value)
+	}
+}
+
+// TestRefineCIEndStraddles: when a range end's own CI straddles the
+// target, no crossover direction exists — the run reports the ends,
+// unbracketed and noise-limited, without burning midpoint campaigns.
+func TestRefineCIEndStraddles(t *testing.T) {
+	eval := func(v float64) Evaluation {
+		return Evaluation{Value: v, Metric: v, CILo: v - 0.3, CIHi: v + 0.3}
+	}
+	r := refineLoopCI(syntheticAxis(0, 1, false), 0.2, 1e-3, eval) // lo end 0±0.3 straddles 0.2
+	if r.Bracketed {
+		t.Fatal("straddling end must not claim a bracket")
+	}
+	if !r.NoiseLimited {
+		t.Fatal("straddling end must set NoiseLimited")
+	}
+	if len(r.Evals) != 2 {
+		t.Errorf("evals = %d, want just the 2 ends", len(r.Evals))
+	}
+}
+
+// TestRefineCIRealCampaign exercises the Run-backed variance-aware
+// wrapper: per-seed observations feed a deterministic bootstrap, so
+// the CI must contain the point metric and the whole refinement must
+// be byte-reproducible across re-runs.
+func TestRefineCIRealCampaign(t *testing.T) {
+	spec := testSpec(4)
+	spec.Points = nil
+	spec.Seeds = []uint64{7, 8, 9}
+	spec.WarmupS, spec.WindowS = 2, 4
+
+	ax := StandardNumericAxes()["load"]
+	ax.Lo, ax.Hi = 0, 0.4
+	run := func() Refinement {
+		// Huge target: only the 2 end evaluations run.
+		return RefineCI(spec, ax, 1.0, 0.1, nil, 200)
+	}
+	a, b := run(), run()
+	if len(a.Evals) != 2 {
+		t.Fatalf("evals = %d, want 2", len(a.Evals))
+	}
+	if a.Bracketed || a.NoiseLimited {
+		t.Fatalf("target far above range: bracketed=%v noiseLimited=%v", a.Bracketed, a.NoiseLimited)
+	}
+	for _, e := range a.Evals {
+		if len(e.Results) != 3 {
+			t.Fatalf("evaluation at %g has %d results, want one per seed", e.Value, len(e.Results))
+		}
+		if !(e.CILo <= e.Metric && e.Metric <= e.CIHi) {
+			t.Errorf("at %g: CI [%g, %g] does not contain metric %g", e.Value, e.CILo, e.CIHi, e.Metric)
+		}
+		if e.CILo == e.CIHi {
+			t.Errorf("at %g: 3-seed bootstrap CI collapsed to a point", e.Value)
+		}
+	}
+	for i := range a.Evals {
+		if a.Evals[i].Metric != b.Evals[i].Metric ||
+			a.Evals[i].CILo != b.Evals[i].CILo || a.Evals[i].CIHi != b.Evals[i].CIHi {
+			t.Errorf("CI refinement not reproducible at eval %d", i)
+		}
+	}
+}
+
 // TestRefineRealCampaign exercises the Run-backed wrapper end to end on
 // a tiny spec: evaluations must carry one result per seed and be
 // reproducible (the refinement is re-run and compared).

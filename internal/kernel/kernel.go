@@ -151,7 +151,7 @@ type nodeChannel struct {
 }
 
 // NewNode wires a node together and installs its interrupt plumbing.
-func NewNode(s *sim.Simulator, id uint16, u *utcsu.UTCSU, med *network.Medium, cfg Config, comcoCfg comco.Config) *Node {
+func NewNode(s *sim.Simulator, id uint16, u *utcsu.UTCSU, med network.Bus, cfg Config, comcoCfg comco.Config) *Node {
 	n := &Node{
 		ID:        id,
 		Sim:       s,
@@ -174,7 +174,7 @@ func NewNode(s *sim.Simulator, id uint16, u *utcsu.UTCSU, med *network.Medium, c
 // NTI's next free channel (its own SSU pair and header partitions) and
 // returns the channel index. Gateway nodes in a WANs-of-LANs topology
 // call this once per extra segment.
-func (n *Node) AttachSegment(med *network.Medium) int {
+func (n *Node) AttachSegment(med network.Bus) int {
 	ch := len(n.chans)
 	if ch >= nti.NumChannels {
 		panic("kernel: no free NTI channel for another segment")

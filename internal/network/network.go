@@ -41,6 +41,30 @@ type Frame struct {
 // Broadcast addresses every attached station.
 const Broadcast = -1
 
+// BackgroundDst is the destination of synthetic background-load frames:
+// it matches no station, so such frames occupy the bus for their full
+// serialization time (which is all that matters for medium-access
+// uncertainty) but are never delivered — the delivery loop skips the
+// station walk entirely rather than filtering each station against an
+// address that cannot match (see TestBackgroundFramesReachNoStation).
+const BackgroundDst = -3
+
+// BackgroundSrc is the virtual station id background-load frames are
+// sent from. It is never a real attach id, so delivery filters treat it
+// like any other foreign source.
+const BackgroundSrc = -2
+
+// Bus is the transmit-side contract a link-layer client (package comco)
+// needs from a communications substrate: attach a receiving station,
+// queue frames with an acquisition callback, and know the bit rate for
+// DMA pacing. Medium (shared broadcast bus) and LinkPort (dedicated
+// point-to-point WAN port, see link.go) both implement it.
+type Bus interface {
+	Attach(st Station) int
+	Send(f Frame, onAcquired func(at float64)) uint64
+	Bitrate() float64
+}
+
 // Station receives frames from a medium.
 type Station interface {
 	// FrameArrived is invoked once per delivered frame, after the last
@@ -271,27 +295,40 @@ func (m *Medium) transmitCur() {
 	if m.tr != nil {
 		m.tr.Emit(trace.KindFrameTx, start, f.Src, 0, f.ID, uint64(len(f.Payload)), dur)
 	}
-	// Deliver to every other station at frame end + propagation.
-	for id, st := range m.stations {
-		if id == f.Src {
-			continue
+	// Deliver at frame end + propagation — to the receivers only, not
+	// O(stations): a broadcast walks every other station, a unicast
+	// indexes its one receiver, and an unmatchable destination (e.g.
+	// BackgroundDst) skips delivery work entirely. CRC randomness is
+	// drawn once per actual delivery, in attach-id order, exactly as the
+	// full walk would, so the filter is invisible to the RNG streams.
+	switch {
+	case f.Dst == Broadcast:
+		for id, st := range m.stations {
+			if id == f.Src {
+				continue
+			}
+			m.scheduleDelivery(st, id, f, end)
 		}
-		if f.Dst != Broadcast && f.Dst != id {
-			continue
-		}
-		d := m.allocDelivery()
-		d.st = st
-		d.id = id
-		d.f = f
-		d.f.DeliveredAt = end + m.cfg.PropDelayS
-		d.f.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)
-		if d.f.Corrupt {
-			m.dropped++
-		}
-		m.s.At(d.f.DeliveredAt, d.run)
+	case f.Dst >= 0 && f.Dst < len(m.stations) && f.Dst != f.Src:
+		m.scheduleDelivery(m.stations[f.Dst], f.Dst, f, end)
 	}
 	m.sent++
 	m.s.At(end, m.startNextFn)
+}
+
+// scheduleDelivery queues one station's reception of f (last bit at
+// end, plus propagation), drawing that delivery's CRC fate.
+func (m *Medium) scheduleDelivery(st Station, id int, f Frame, end float64) {
+	d := m.allocDelivery()
+	d.st = st
+	d.id = id
+	d.f = f
+	d.f.DeliveredAt = end + m.cfg.PropDelayS
+	d.f.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)
+	if d.f.Corrupt {
+		m.dropped++
+	}
+	m.s.At(d.f.DeliveredAt, d.run)
 }
 
 // Stats returns frames transmitted and deliveries corrupted.
@@ -316,9 +353,9 @@ func (m *Medium) StartBackgroundLoad(utilization float64, meanBytes int) {
 	meanDur := m.FrameDuration(meanBytes)
 	meanGap := meanDur / utilization
 	if m.bgPayload == nil {
-		// Background frames reach no station (Dst -3 matches nobody) —
-		// only their length occupies the bus — so every frame can slice
-		// one shared scratch buffer instead of allocating a payload.
+		// Background frames reach no station (BackgroundDst) — only
+		// their length occupies the bus — so every frame can slice one
+		// shared scratch buffer instead of allocating a payload.
 		m.bgPayload = make([]byte, 1500)
 	}
 	stopped := false
@@ -334,7 +371,7 @@ func (m *Medium) StartBackgroundLoad(utilization float64, meanBytes int) {
 		if n > 1500 {
 			n = 1500
 		}
-		m.Send(Frame{Src: -2, Dst: -3, Payload: m.bgPayload[:n]}, nil)
+		m.Send(Frame{Src: BackgroundSrc, Dst: BackgroundDst, Payload: m.bgPayload[:n]}, nil)
 		if stopped {
 			return
 		}

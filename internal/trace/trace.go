@@ -179,6 +179,10 @@ type Record struct {
 	// Node is the emitting node/station id; -1 for the simulation
 	// kernel and the medium itself, -2 for background-load frames.
 	Node int32
+	// Shard is the sub-simulator the record was emitted on in a
+	// sharded (WANs-of-LANs) run, or -1 for unsharded simulations.
+	// Stamped from the tracer's SetShard value at emission.
+	Shard int16
 	// Ch is the NTI channel for multi-segment (gateway) nodes.
 	Ch   int8
 	Kind Kind
@@ -246,6 +250,7 @@ type ring struct {
 type Tracer struct {
 	opts  Options
 	seq   uint64
+	shard int16
 	rings []ring // indexed by node+2 (-2 = background, -1 = kernel/medium)
 }
 
@@ -254,7 +259,22 @@ func New(o Options) *Tracer {
 	if o.RingCap <= 0 {
 		o.RingCap = DefaultRingCap
 	}
-	return &Tracer{opts: o}
+	return &Tracer{opts: o, shard: -1}
+}
+
+// SetShard tags every subsequently emitted record with the given shard
+// id. Sharded clusters give each sub-simulator its own tracer (a
+// Tracer, like a Simulator, is single-threaded state) and merge them
+// afterwards with MergeShards; the tag records which sub-simulator an
+// event executed on.
+func (t *Tracer) SetShard(shard int) { t.shard = int16(shard) }
+
+// Shard returns the tracer's shard tag (-1 when unsharded).
+func (t *Tracer) Shard() int {
+	if t == nil {
+		return -1
+	}
+	return int(t.shard)
 }
 
 // Options returns the tracer's effective options (zero value when the
@@ -285,10 +305,71 @@ func (t *Tracer) Emit(k Kind, now float64, node, ch int, a, b uint64, v float64)
 	}
 	r.buf[r.n%uint64(len(r.buf))] = Record{
 		T: now, Seq: t.seq, A: a, B: b, V: v,
-		Node: int32(node), Ch: int8(ch), Kind: k,
+		Node: int32(node), Shard: t.shard, Ch: int8(ch), Kind: k,
 	}
 	r.n++
 	t.seq++
+}
+
+// emitRecord appends a prebuilt record, reassigning only its sequence
+// number — the merge path of MergeShards.
+func (t *Tracer) emitRecord(rec Record) {
+	idx := int(rec.Node) + 2
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(t.rings) {
+		t.rings = append(t.rings, make([]ring, idx+1-len(t.rings))...)
+	}
+	r := &t.rings[idx]
+	if r.buf == nil {
+		r.buf = make([]Record, t.opts.RingCap)
+	}
+	rec.Seq = t.seq
+	r.buf[r.n%uint64(len(r.buf))] = rec
+	r.n++
+	t.seq++
+}
+
+// MergeShards merges per-shard tracers into one tracer whose emission
+// order is the canonical serialization of the sharded run: records
+// sorted by (time, shard, per-shard sequence) and re-sequenced. The
+// order is a pure function of the per-shard streams, so merged
+// exports are byte-identical regardless of worker count. Ring
+// capacity is sized to retain every input record.
+func MergeShards(ts []*Tracer) *Tracer {
+	var opts Options
+	total := 0
+	for _, t := range ts {
+		if t != nil {
+			opts = t.opts
+			total += t.Len()
+		}
+	}
+	var all []Record
+	all = make([]Record, 0, total)
+	for _, t := range ts {
+		all = append(all, t.Records()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	opts.RingCap = total
+	if opts.RingCap == 0 {
+		opts.RingCap = 1
+	}
+	out := New(opts)
+	for i := range all {
+		out.emitRecord(all[i])
+	}
+	return out
 }
 
 // Len returns the number of records currently retained across all
