@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden
+.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden serve-smoke serve-golden
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -77,6 +77,24 @@ shard-smoke:
 	rm -rf build/shard-smoke
 	$(GO) run ./cmd/nticampaign -preset sharded -shards 4 -q -out build/shard-smoke >/dev/null
 	diff -u cmd/nticampaign/testdata/sharded.golden.jsonl build/shard-smoke/campaign-sharded.jsonl
+
+# serve-smoke runs the serving preset (clients × arrival grid, 3 seeds)
+# with 4 shard workers and byte-diffs its JSONL artifact — including the
+# served-accuracy percentiles — against the committed golden, which was
+# generated with -shards 1: query arrival streams and quantile sketches
+# must be bit-identical for any shard/worker count. Regenerate after an
+# intentional behavior change with `make serve-golden`.
+serve-smoke:
+	rm -rf build/serve-smoke
+	$(GO) run ./cmd/nticampaign -preset serving -seeds 3 -shards 4 -q -out build/serve-smoke >/dev/null
+	diff -u cmd/nticampaign/testdata/serving.golden.jsonl build/serve-smoke/campaign-serving.jsonl
+
+# serve-golden refreshes the committed serving campaign golden from a
+# sequential (-shards 1) run.
+serve-golden:
+	rm -rf build/serve-golden
+	$(GO) run ./cmd/nticampaign -preset serving -seeds 3 -shards 1 -q -out build/serve-golden >/dev/null
+	cp build/serve-golden/campaign-serving.jsonl cmd/nticampaign/testdata/serving.golden.jsonl
 
 # shard-golden refreshes the committed sharded campaign golden from a
 # sequential (-shards 1) run.

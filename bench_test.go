@@ -14,6 +14,7 @@ import (
 	"ntisim/internal/experiments"
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
+	"ntisim/internal/service"
 )
 
 const benchSeed = 1998
@@ -228,6 +229,64 @@ func BenchmarkClusterScaling(b *testing.B) {
 
 func benchName(n int) string {
 	return fmt.Sprintf("nodes-%02d", n)
+}
+
+// BenchmarkServing measures the client-population load subsystem on the
+// serving-preset topology (16 nodes, 4 segments, F=1): simulated
+// seconds per wall second with the full query stream attached, plus the
+// served-accuracy headline numbers. Arrivals are tick-batched per node
+// (one Poisson draw per 10 ms tick, not one event per client), so
+// throughput should be nearly independent of population size — the
+// population only scales the per-tick arrival mean. Steady-state
+// allocations per query are pinned to zero by
+// internal/service TestGeneratorSteadyStateAllocFree.
+func BenchmarkServing(b *testing.B) {
+	// Match the -preset serving shape: 10 s of convergence before the
+	// measured window so served errors are steady-state.
+	const settleS, windowS = 10.0, 10.0
+	for _, tc := range []struct {
+		clients int
+		arrival string
+	}{
+		{100000, "poisson"},
+		{1000000, "poisson"},
+		{1000000, "mmpp"},
+		{10000000, "poisson"},
+	} {
+		tc := tc
+		b.Run(fmt.Sprintf("clients-%.0e-%s", float64(tc.clients), tc.arrival), func(b *testing.B) {
+			var st service.Stats
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.Defaults(16, benchSeed)
+				cfg.Segments = 4
+				cfg.Sync.F = 1
+				cfg.Serving = service.Config{
+					Clients:      tc.clients,
+					Arrival:      tc.arrival,
+					RegionalSkew: 1.5,
+				}
+				c := cluster.New(cfg)
+				// Tighten the a-priori delay bounds like harness.runCell
+				// does; precision (and therefore served error) is bound
+				// by them.
+				db := c.MeasureDelay(0, 1, 12)
+				for _, m := range c.Members {
+					m.Sync.SetDelayBounds(db)
+				}
+				c.Start(c.Now() + 1)
+				c.RunUntil(c.Now() + settleS)
+				c.StartServing(c.Now())
+				c.RunUntil(c.Now() + windowS)
+				st = c.ServingReport(windowS)
+			}
+			if st.Queries == 0 {
+				b.Fatal("no queries served")
+			}
+			b.ReportMetric((1+settleS+windowS)*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+			b.ReportMetric(st.QPS, "req/sim-s")
+			b.ReportMetric(st.ErrP99S*1e6, "p99-err-us")
+		})
+	}
 }
 
 // BenchmarkSnapshot measures the measurement path itself.

@@ -47,6 +47,7 @@ import (
 	"ntisim/internal/metrics"
 	"ntisim/internal/prof"
 	"ntisim/internal/report"
+	"ntisim/internal/service"
 	"ntisim/internal/stats"
 )
 
@@ -114,6 +115,24 @@ var presets = map[string]preset{
 			s.WindowS = 30
 		},
 	},
+	"serving": {
+		desc: "client-population load: clients × arrival process serving a 4-segment sharded topology (served-accuracy percentiles)",
+		points: func() []harness.Point {
+			return harness.Cross(
+				harness.ClientsAxis(100000, 1000000),
+				harness.ArrivalAxis(),
+			)
+		},
+		spec: func(s *harness.Spec) {
+			s.Base.Nodes = 16
+			s.Base.Segments = 4
+			// F=1 keeps gateways per WAN link at F+1 = 2.
+			s.Base.Sync.F = 1
+			s.Base.Serving.RegionalSkew = 1.5
+			s.WarmupS = 10
+			s.WindowS = 30
+		},
+	},
 	"disciplines": {
 		desc: "clock-discipline shootout: every discipline × (ensemble-only + the GPS fault matrix)",
 		points: func() []harness.Point {
@@ -158,6 +177,10 @@ func presetChoices() string {
 
 func disciplineChoices() string {
 	return strings.Join(discipline.Names(), "|")
+}
+
+func arrivalChoices() string {
+	return strings.Join(service.Arrivals(), "|")
 }
 
 func refineChoices() string {
@@ -250,6 +273,8 @@ func main() {
 		reportPath  = flag.String("report", "", "write a Markdown+SVG report of this run to this file")
 		traceCells  = flag.Bool("trace", false, "capture a cross-layer trace per cell (requires -out; adds one .cell-NNN.trace.jsonl per cell)")
 		discName    = flag.String("discipline", "", "force one clock discipline for every cell: "+disciplineChoices())
+		clients     = flag.Int("clients", 0, "force a simulated client population of this size on every cell (enables serving metrics)")
+		arrival     = flag.String("arrival", "", "force one client arrival process for every cell: "+arrivalChoices()+" (use with -clients or the serving preset)")
 		refine      = flag.String("refine", "", "adaptive refinement instead of the preset grid: axis=target, e.g. load=2e-6 (axes: "+refineChoices()+")")
 		refineTol   = flag.Float64("refine-tol", 0, "axis tolerance for -refine (default: range/64)")
 		refineCI    = flag.Bool("refine-ci", false, "variance-aware -refine: bisect only while the bootstrap 95% CI across seeds clears the target (use with -seeds > 1)")
@@ -328,6 +353,43 @@ func main() {
 			pt.Params["discipline"] = *discName
 		}
 	}
+	if *arrival != "" && !service.ValidArrival(*arrival) {
+		fmt.Fprintf(os.Stderr, "nticampaign: unknown arrival process %q (choices: %s)\n", *arrival, arrivalChoices())
+		os.Exit(2)
+	}
+	if *clients < 0 {
+		fmt.Fprintln(os.Stderr, "nticampaign: -clients must be >= 0")
+		os.Exit(2)
+	}
+	if *clients > 0 || *arrival != "" {
+		// Force the population after every point mutation, like
+		// -discipline; a bare -arrival keeps the preset's population (or
+		// stays inert on presets without one).
+		for i := range spec.Points {
+			pt := &spec.Points[i]
+			inner := pt.Mutate
+			pt.Mutate = func(c *cluster.Config) {
+				if inner != nil {
+					inner(c)
+				}
+				if *clients > 0 {
+					c.Serving.Clients = *clients
+				}
+				if *arrival != "" {
+					c.Serving.Arrival = *arrival
+				}
+			}
+			if pt.Params == nil {
+				pt.Params = map[string]string{}
+			}
+			if *clients > 0 {
+				pt.Params["clients"] = fmt.Sprint(*clients)
+			}
+			if *arrival != "" {
+				pt.Params["arrival"] = *arrival
+			}
+		}
+	}
 	if !*quiet {
 		spec.Progress = os.Stderr
 	}
@@ -355,18 +417,37 @@ func main() {
 	}
 
 	// Rows grouped by point (all seeds of a point adjacent), the same
-	// ordering reports aggregate over.
-	tb := metrics.Table{Header: []string{"cell", "seed", "mean prec [µs]", "worst prec [µs]", "worst |C-t| [µs]", "width ±[µs]", "CSP use"}}
+	// ordering reports aggregate over. Serving columns appear only when
+	// some cell carried a client population.
+	hasServing := false
+	for i := range camp.Results {
+		if camp.Results[i].Serving != nil {
+			hasServing = true
+			break
+		}
+	}
+	header := []string{"cell", "seed", "mean prec [µs]", "worst prec [µs]", "worst |C-t| [µs]", "width ±[µs]", "CSP use"}
+	if hasServing {
+		header = append(header, "req/s", "p99 err [µs]")
+	}
+	tb := metrics.Table{Header: header}
 	for _, g := range harness.GroupByPoint(camp.Results) {
 		for _, r := range g.Results {
-			if r.Err != "" {
-				tb.AddRow(r.Label, fmt.Sprint(r.Seed), "error", r.Err, "", "", "")
-				continue
+			row := []string{r.Label, fmt.Sprint(r.Seed), "error", r.Err, "", "", ""}
+			if r.Err == "" {
+				row = []string{r.Label, fmt.Sprint(r.Seed),
+					metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max),
+					metrics.Us(r.Accuracy.Max), metrics.Us(r.Width.Mean),
+					fmt.Sprintf("%.1f%%", 100*r.CSPUse)}
 			}
-			tb.AddRow(r.Label, fmt.Sprint(r.Seed),
-				metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max),
-				metrics.Us(r.Accuracy.Max), metrics.Us(r.Width.Mean),
-				fmt.Sprintf("%.1f%%", 100*r.CSPUse))
+			if hasServing {
+				if sv := r.Serving; sv != nil {
+					row = append(row, fmt.Sprintf("%.0f", sv.QPS), metrics.Us(sv.ErrP99S))
+				} else {
+					row = append(row, "", "")
+				}
+			}
+			tb.AddRow(row...)
 		}
 	}
 	tb.Fprint(os.Stdout)

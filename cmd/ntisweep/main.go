@@ -37,6 +37,8 @@ var axes = map[string]func() harness.Axis{
 	"fosc":       func() harness.Axis { return harness.FoscAxis() },
 	"f":          func() harness.Axis { return harness.FAxis(10) },
 	"discipline": func() harness.Axis { return harness.DisciplineAxis() },
+	"clients":    func() harness.Axis { return harness.ClientsAxis(10000, 100000, 1000000) },
+	"arrival":    func() harness.Axis { return harness.ArrivalAxis() },
 }
 
 func paramChoices() string {
@@ -65,6 +67,11 @@ func main() {
 	}
 
 	base := cluster.Defaults(8, *seed)
+	if *param == "arrival" {
+		// An arrival-process sweep is only meaningful with a population;
+		// give the base config a moderate one.
+		base.Serving.Clients = 100000
+	}
 	if *discName != "" {
 		f, ok := discipline.Lookup(*discName)
 		if !ok {
@@ -87,18 +94,36 @@ func main() {
 	}
 	camp := harness.Run(spec)
 
-	tb := metrics.Table{Header: []string{*param, "mean prec [µs]", "worst prec [µs]", "mean width ±[µs]", "CSP use"}}
+	hasServing := false
+	for i := range camp.Results {
+		if camp.Results[i].Serving != nil {
+			hasServing = true
+			break
+		}
+	}
+	header := []string{*param, "mean prec [µs]", "worst prec [µs]", "mean width ±[µs]", "CSP use"}
+	if hasServing {
+		header = append(header, "req/s", "p99 err [µs]")
+	}
+	tb := metrics.Table{Header: header}
 	for i := range camp.Results {
 		r := &camp.Results[i]
-		if r.Err != "" {
-			tb.AddRow(r.Label, "error", r.Err, "", "")
-			continue
+		row := []string{r.Label, "error", r.Err, "", ""}
+		if r.Err == "" {
+			use := "n/a"
+			if r.Sync.CSPsSent > 0 {
+				use = fmt.Sprintf("%.1f%%", 100*r.CSPUse)
+			}
+			row = []string{r.Label, metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max), metrics.Us(r.Width.Mean), use}
 		}
-		use := "n/a"
-		if r.Sync.CSPsSent > 0 {
-			use = fmt.Sprintf("%.1f%%", 100*r.CSPUse)
+		if hasServing {
+			if sv := r.Serving; sv != nil {
+				row = append(row, fmt.Sprintf("%.0f", sv.QPS), metrics.Us(sv.ErrP99S))
+			} else {
+				row = append(row, "", "")
+			}
 		}
-		tb.AddRow(r.Label, metrics.Us(r.Precision.Mean), metrics.Us(r.Precision.Max), metrics.Us(r.Width.Mean), use)
+		tb.AddRow(row...)
 	}
 	tb.Fprint(os.Stdout)
 

@@ -15,6 +15,7 @@ import (
 	"ntisim/internal/metrics"
 	"ntisim/internal/network"
 	"ntisim/internal/oscillator"
+	"ntisim/internal/service"
 	"ntisim/internal/sim"
 	"ntisim/internal/timefmt"
 	"ntisim/internal/trace"
@@ -68,6 +69,11 @@ type Config struct {
 	// segments of a sharded topology — and therefore the conservative
 	// lookahead of the parallel kernel. 0 means DefaultWANDelayS.
 	WANDelayS float64
+	// Serving describes the simulated client population querying the
+	// cluster for time (internal/service): open-loop arrival streams
+	// aggregated per node, feeding served-accuracy sketches. The zero
+	// value (Clients == 0) disables serving entirely.
+	Serving service.Config
 	// Shards is the worker-goroutine count driving the sharded
 	// topology's sub-simulators: 1 executes the shards sequentially
 	// (the single-kernel baseline), N runs up to N segments
@@ -176,8 +182,12 @@ type Cluster struct {
 	Med     *network.Medium
 	Media   []*network.Medium
 	Members []*Member
-	tracers []*trace.Tracer // per-shard tracers of a sharded cluster
-	cfg     Config
+	// ServingGens are the per-node client-load generators (one per
+	// regular node, in member order) when cfg.Serving enables a client
+	// population; empty otherwise. See serving.go.
+	ServingGens []*service.Generator
+	tracers     []*trace.Tracer // per-shard tracers of a sharded cluster
+	cfg         Config
 }
 
 // New builds the cluster. Synchronizers are created but not started;
@@ -240,6 +250,7 @@ func New(cfg Config) *Cluster {
 	if cfg.BackgroundLoad > 0 {
 		med.StartBackgroundLoad(cfg.BackgroundLoad, 400)
 	}
+	c.attachServing()
 	return c
 }
 

@@ -182,6 +182,7 @@ func newSharded(cfg Config) *Cluster {
 			media[i].StartBackgroundLoad(cfg.BackgroundLoad, 400)
 		}
 	}
+	c.attachServing()
 	return c
 }
 

@@ -39,6 +39,9 @@ var csvHeader = []string{
 	"rounds", "csps_sent", "csps_used", "csp_use",
 	"ext_accepted", "ext_rejected",
 	"events", "sim_s", "error",
+	// Serving columns are empty for cells without a client population.
+	"clients", "served_queries", "served_qps",
+	"served_err_p50_s", "served_err_p99_s", "served_err_p999_s", "served_err_max_s",
 }
 
 // WriteCSV writes the key statistics of every cell as one flat row.
@@ -60,6 +63,13 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 			u(r.Sync.Rounds), u(r.Sync.CSPsSent), u(r.Sync.CSPsUsed), f(r.CSPUse),
 			u(r.Sync.ExternalAccepted), u(r.Sync.ExternalRejected),
 			u(r.Events), f(r.SimS), r.Err,
+		}
+		if sv := r.Serving; sv != nil {
+			row = append(row,
+				strconv.Itoa(sv.Clients), u(sv.Queries), f(sv.QPS),
+				f(sv.ErrP50S), f(sv.ErrP99S), f(sv.ErrP999S), f(sv.ErrMaxS))
+		} else {
+			row = append(row, "", "", "", "", "", "", "")
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"ntisim/internal/cluster"
 	"ntisim/internal/discipline"
 	"ntisim/internal/gps"
+	"ntisim/internal/service"
 	"ntisim/internal/timefmt"
 )
 
@@ -156,6 +157,46 @@ func DisciplineAxis(names ...string) Axis {
 			Label:  fmt.Sprintf("disc=%s", n),
 			Params: map[string]string{"discipline": n},
 			Mutate: func(c *cluster.Config) { c.Sync.Discipline = f },
+		})
+	}
+	return ax
+}
+
+// ClientsAxis sweeps the simulated client population querying the
+// cluster for time (enables the internal/service load subsystem).
+func ClientsAxis(ns ...int) Axis {
+	if len(ns) == 0 {
+		ns = []int{100000, 1000000}
+	}
+	ax := Axis{Name: "clients"}
+	for _, n := range ns {
+		n := n
+		ax.Points = append(ax.Points, Point{
+			Label:  fmt.Sprintf("clients=%d", n),
+			Params: map[string]string{"clients": fmt.Sprint(n)},
+			Mutate: func(c *cluster.Config) { c.Serving.Clients = n },
+		})
+	}
+	return ax
+}
+
+// ArrivalAxis sweeps the client arrival process (default: every
+// registered process, in service.Arrivals order). Like DisciplineAxis
+// it panics on an unknown name — front-ends validate user input first.
+func ArrivalAxis(names ...string) Axis {
+	if len(names) == 0 {
+		names = service.Arrivals()
+	}
+	ax := Axis{Name: "arrival"}
+	for _, n := range names {
+		if !service.ValidArrival(n) {
+			panic(fmt.Sprintf("harness: unknown arrival process %q", n))
+		}
+		n := n
+		ax.Points = append(ax.Points, Point{
+			Label:  fmt.Sprintf("arrival=%s", n),
+			Params: map[string]string{"arrival": n},
+			Mutate: func(c *cluster.Config) { c.Serving.Arrival = n },
 		})
 	}
 	return ax

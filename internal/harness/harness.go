@@ -20,6 +20,7 @@ import (
 
 	"ntisim/internal/cluster"
 	"ntisim/internal/metrics"
+	"ntisim/internal/service"
 	"ntisim/internal/trace"
 )
 
@@ -192,6 +193,12 @@ type Result struct {
 	// wall-clock second — the profiling hook for event-queue work.
 	EventsPerWallS float64 `json:"-"`
 
+	// Serving carries the served-accuracy statistics of the simulated
+	// client population when the cell's config enables one
+	// (cluster.Config.Serving); nil otherwise. The pointer + omitempty
+	// keep pre-serving artifact lines byte-identical.
+	Serving *service.Stats `json:"serving,omitempty"`
+
 	Err string `json:"error,omitempty"`
 
 	Timeline []TimelinePoint `json:"timeline,omitempty"`
@@ -313,14 +320,27 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	c.Start(c.Now() + 1)
 	c.RunUntil(c.Now() + sp.WarmupS)
 
-	var prec, acc, width metrics.Series
+	// The sample count is fixed by the window and period, so the series
+	// can be sized exactly up front — steady-state sampling never grows
+	// a backing array (the pre-sized Add path is alloc-pinned in
+	// metrics' TestSeriesGrowAllocFree).
+	samples := int(sp.WindowS/sp.SampleEveryS) + 2
+	var prec, acc, width, w metrics.Series
+	prec.Grow(samples)
+	acc.Grow(samples)
+	width.Grow(samples)
+	w.Grow(len(c.Members))
 	begin := c.Now()
+	serving := cfg.Serving.Clients > 0
+	if serving {
+		c.StartServing(begin)
+	}
 	for t := begin; t <= begin+sp.WindowS; t += sp.SampleEveryS {
 		c.RunUntil(t)
 		cs := c.Snapshot()
 		prec.Add(cs.Precision)
 		acc.Add(cs.MaxAbsOffset)
-		var w metrics.Series
+		w.Reset()
 		for _, m := range c.Members {
 			am, ap := m.U.Alpha()
 			w.Add((am.Duration().Seconds() + ap.Duration().Seconds()) / 2)
@@ -366,6 +386,10 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	res.Width = width.Stats()
 	res.Events = c.EventCount()
 	res.SimS = c.Now()
+	if serving {
+		st := c.ServingReport(c.Now() - begin)
+		res.Serving = &st
+	}
 	if sp.Trace {
 		// Sharded clusters trace per shard; Trace() returns the merged
 		// canonical-order tracer (the configured one for unsharded).

@@ -160,6 +160,83 @@ func TestRefineCIEndStraddles(t *testing.T) {
 	}
 }
 
+// TestRefineCIPartialTightenThenNoiseLimited: the bisection may move a
+// bracket end on clean midpoints before hitting a straddling one. The
+// run must keep the partially tightened bracket, stay Bracketed, and
+// set NoiseLimited.
+func TestRefineCIPartialTightenThenNoiseLimited(t *testing.T) {
+	// metric(v) = v, target 0.3. CIs are tight except within 0.2 of the
+	// crossover. Midpoint order: 0.5 (clears above → hi), then 0.25
+	// (straddles → stop).
+	eval := func(v float64) Evaluation {
+		hw := 0.01
+		if math.Abs(v-0.3) < 0.2 {
+			hw = 0.2
+		}
+		return Evaluation{Value: v, Metric: v, CILo: v - hw, CIHi: v + hw}
+	}
+	r := refineLoopCI(syntheticAxis(0, 1, false), 0.3, 1e-3, eval)
+	if !r.Bracketed || !r.NoiseLimited {
+		t.Fatalf("partial tighten: bracketed=%v noiseLimited=%v", r.Bracketed, r.NoiseLimited)
+	}
+	if r.Lo.Value != 0 || r.Hi.Value != 0.5 {
+		t.Errorf("bracket = [%g, %g], want the partially tightened [0, 0.5]",
+			r.Lo.Value, r.Hi.Value)
+	}
+	if len(r.Evals) != 4 {
+		t.Errorf("evals = %d, want 4 (2 ends, 1 clean midpoint, 1 straddle)", len(r.Evals))
+	}
+}
+
+// TestRefineCIRealCampaignNoiseLimited drives the Run-backed wrapper
+// into the NoiseLimited stop with real simulations: the target is
+// placed between the two per-seed metric observations at the low range
+// end, so its 2-seed bootstrap CI must straddle it and the refinement
+// must stop at the ends.
+func TestRefineCIRealCampaignNoiseLimited(t *testing.T) {
+	spec := testSpec(4)
+	spec.Points = nil
+	spec.Seeds = []uint64{7, 8}
+	spec.WarmupS, spec.WindowS = 2, 4
+
+	ax := StandardNumericAxes()["load"]
+	ax.Lo, ax.Hi = 0, 0.4
+
+	// Probe the low end to learn its per-seed metrics.
+	probe := spec
+	probe.Points = []Point{ax.Point(ax.Lo)}
+	c := Run(probe)
+	perSeed := map[uint64]float64{}
+	for _, r := range c.Results {
+		if r.Err != "" {
+			t.Fatalf("probe cell %s errored: %s", r.Key(), r.Err)
+		}
+		perSeed[r.Seed] = MeanPrecision([]Result{r})
+	}
+	a, b := perSeed[7], perSeed[8]
+	if a == b {
+		t.Skip("per-seed metrics coincide; cannot place a straddling target")
+	}
+	target := (a + b) / 2
+
+	r := RefineCI(spec, ax, target, 0.05, nil, 500)
+	if !r.NoiseLimited {
+		t.Fatalf("target %g between per-seed observations %g/%g must be noise-limited: %+v",
+			target, a, b, r)
+	}
+	if r.Bracketed {
+		t.Error("straddling range end must not claim a bracket")
+	}
+	if len(r.Evals) != 2 {
+		t.Errorf("evals = %d, want just the 2 ends", len(r.Evals))
+	}
+	lo := r.Evals[0]
+	if above, ok := lo.Clears(target); ok {
+		t.Errorf("low end unexpectedly cleared the target (above=%v, CI [%g, %g])",
+			above, lo.CILo, lo.CIHi)
+	}
+}
+
 // TestRefineCIRealCampaign exercises the Run-backed variance-aware
 // wrapper: per-seed observations feed a deterministic bootstrap, so
 // the CI must contain the point metric and the whole refinement must

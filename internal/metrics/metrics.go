@@ -33,6 +33,26 @@ func (s *Series) Add(v float64) {
 	s.sorted = false
 }
 
+// Grow pre-allocates capacity for at least n further samples, so a
+// caller that knows its sample budget up front (the campaign loop
+// derives it from the configured window and sampling period) pays one
+// allocation instead of the append doubling ladder.
+func (s *Series) Grow(n int) {
+	if n <= 0 || cap(s.vals)-len(s.vals) >= n {
+		return
+	}
+	vals := make([]float64, len(s.vals), len(s.vals)+n)
+	copy(vals, s.vals)
+	s.vals = vals
+}
+
+// Reset empties the series while keeping its capacity, so per-iteration
+// scratch series can be reused without reallocating.
+func (s *Series) Reset() {
+	s.vals = s.vals[:0]
+	s.sorted = false
+}
+
 // N returns the sample count.
 func (s *Series) N() int { return len(s.vals) }
 

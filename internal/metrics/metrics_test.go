@@ -140,6 +140,45 @@ type fakeNode struct{ off, lo, hi float64 }
 
 func (f fakeNode) OffsetAndBounds() (float64, float64, float64) { return f.off, f.lo, f.hi }
 
+func TestSeriesGrowAllocFree(t *testing.T) {
+	const n = 1024
+	var s Series
+	s.Grow(n)
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		for i := 0; i < n; i++ {
+			s.Add(float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pre-sized Add allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestSeriesGrowPreservesAndReset(t *testing.T) {
+	var s Series
+	s.Add(2)
+	s.Add(1)
+	s.Grow(100)
+	if s.N() != 2 || s.Min() != 1 || s.Max() != 2 {
+		t.Fatalf("Grow lost samples: n=%d min=%g max=%g", s.N(), s.Min(), s.Max())
+	}
+	s.Grow(0)
+	s.Grow(-5)
+	s.Add(3)
+	if s.Max() != 3 {
+		t.Fatalf("Add after Grow: max=%g", s.Max())
+	}
+	s.Reset()
+	if s.N() != 0 || s.Max() != 0 {
+		t.Fatalf("Reset left samples: n=%d", s.N())
+	}
+	s.Add(7)
+	if s.N() != 1 || s.Percentile(0.5) != 7 {
+		t.Fatalf("reuse after Reset broken: n=%d p50=%g", s.N(), s.Percentile(0.5))
+	}
+}
+
 func TestSample(t *testing.T) {
 	nodes := []Snapshotter{
 		fakeNode{off: 1e-6, lo: -1e-6, hi: 3e-6},

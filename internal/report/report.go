@@ -117,9 +117,11 @@ func Generate(w io.Writer, title string, results []harness.Result, opt stats.Opt
 
 	writeAggregateTable(bw, agg)
 	writeConvergence(bw, agg, opt)
+	writeServing(bw, agg)
 	writeDisciplineRanking(bw, agg)
 	writeComparison(bw, agg)
 	writePlots(bw, agg)
+	writeServingPlots(bw, agg)
 	writeTimelines(bw, results)
 
 	return bw.Flush()
@@ -176,6 +178,97 @@ func writeConvergence(w io.Writer, agg []stats.PointStats, opt stats.Options) {
 			p.Label, c.N, fs(c.Mean), fs(c.Lo), fs(c.Hi), fs(c.Min), fs(c.Max))
 	}
 	fmt.Fprintf(w, "\n")
+}
+
+// writeServing reports the served-accuracy percentiles of the client
+// population for campaigns that enabled one (cluster.Config.Serving);
+// campaigns without serving data skip the section, keeping their
+// reports byte-identical to before it existed.
+func writeServing(w io.Writer, agg []stats.PointStats) {
+	any := false
+	for i := range agg {
+		if agg[i].HasServing() {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "## Served-accuracy percentiles (client population)\n\n")
+	fmt.Fprintf(w, "Each served query samples the responding node's clock error at\nservice time; percentiles are over all queries of the window, then\naveraged across seeds. req/s is served requests per sim-second.\n\n")
+	fmt.Fprintf(w, "| point | n | req/s | p50 err | p99 err | p99 boot95 CI | p99.9 err | max err |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+	fq := func(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+	for i := range agg {
+		p := &agg[i]
+		if !p.HasServing() {
+			fmt.Fprintf(w, "| %s | 0 | — | — | — | — | — | — |\n", p.Label)
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %d | %s | %s | %s | %s | %s | %s |\n",
+			p.Label, p.ServedP99.N, fq(p.ServedQPS.Mean),
+			us(p.ServedP50.Mean), us(p.ServedP99.Mean),
+			ci(p.ServedP99.BootLo, p.ServedP99.BootHi),
+			us(p.ServedP999.Mean), us(p.ServedMax.Max))
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeServingPlots charts the served p99 error against each numeric
+// sweep axis, mirroring the precision plots. Skipped entirely without
+// serving data.
+func writeServingPlots(w io.Writer, agg []stats.PointStats) {
+	for i := range agg {
+		if agg[i].HasServing() {
+			goto plot
+		}
+	}
+	return
+plot:
+	for _, axis := range numericAxes(agg) {
+		names := []string{}
+		series := map[string]*plotSeries{}
+		for _, p := range agg {
+			if !p.HasServing() {
+				continue
+			}
+			x, _ := strconv.ParseFloat(p.Params[axis], 64)
+			name := otherSig(p.Params, axis)
+			if name == "" {
+				name = "all points"
+			}
+			s, ok := series[name]
+			if !ok {
+				s = &plotSeries{Name: name}
+				series[name] = s
+				names = append(names, name)
+			}
+			e := p.ServedP99
+			s.Points = append(s.Points, plotPoint{X: x, Y: e.Mean * 1e6, Lo: e.Lo * 1e6, Hi: e.Hi * 1e6})
+			for _, v := range e.Values {
+				s.Scatter = append(s.Scatter, xy{X: x, Y: v * 1e6})
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		var ss []plotSeries
+		for _, n := range names {
+			s := series[n]
+			sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+			sort.Slice(s.Scatter, func(i, j int) bool {
+				if s.Scatter[i].X != s.Scatter[j].X {
+					return s.Scatter[i].X < s.Scatter[j].X
+				}
+				return s.Scatter[i].Y < s.Scatter[j].Y
+			})
+			ss = append(ss, *s)
+		}
+		fmt.Fprintf(w, "## Served p99 error vs %s\n\n", axis)
+		fmt.Fprintf(w, "Line: mean across seeds of the per-seed served p99 client error.\nBand: Student-t 95%% CI. Dots: per-seed values.\n\n")
+		fmt.Fprintf(w, "%s\n\n", renderSVG("served p99 vs "+axis, axis, "served p99 error [µs]", ss))
+	}
 }
 
 // writeDisciplineRanking ranks clock disciplines head-to-head when the

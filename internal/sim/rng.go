@@ -98,6 +98,36 @@ func (r *RNG) Exponential(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// Poisson returns a Poisson-distributed count with the given mean,
+// used for tick-aggregated arrival batches. Small means use Knuth's
+// product method (exact); means of 30 and above switch to a rounded
+// normal approximation whose error is far below the shot noise at that
+// scale, keeping the cost O(1) instead of O(mean). Both branches
+// consume a bounded, deterministic number of stream draws for a given
+// outcome, so counts are reproducible from the seed alone.
+func (r *RNG) Poisson(mean float64) uint64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		var k uint64
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := math.Round(r.Normal(mean, math.Sqrt(mean)))
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
 // TruncNormal returns a normal value clamped to [lo, hi], modelling
 // bounded hardware jitter (e.g. bus-arbitration delays).
 func (r *RNG) TruncNormal(mean, stddev, lo, hi float64) float64 {

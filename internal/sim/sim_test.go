@@ -219,6 +219,38 @@ func TestRNGExponentialMean(t *testing.T) {
 	}
 }
 
+func TestRNGPoissonMean(t *testing.T) {
+	r := NewRNG(13)
+	// Both regimes: Knuth product method (small mean) and the rounded
+	// normal approximation (mean >= 30).
+	for _, mean := range []float64{0.5, 6, 80, 5000} {
+		n := 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / float64(n)
+		// Standard error of the sample mean is sqrt(mean/n); 5 sigma.
+		tol := 5 * math.Sqrt(mean/float64(n))
+		if math.Abs(got-mean) > tol {
+			t.Errorf("Poisson(%g) sample mean = %g, want +- %g", mean, got, tol)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("non-positive mean must give 0 arrivals")
+	}
+}
+
+func TestRNGPoissonDeterminism(t *testing.T) {
+	a, b := NewRNG(21), NewRNG(21)
+	for i := 0; i < 1000; i++ {
+		mean := 0.1 + float64(i%70)
+		if va, vb := a.Poisson(mean), b.Poisson(mean); va != vb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, va, vb)
+		}
+	}
+}
+
 func TestRNGTruncNormalBounds(t *testing.T) {
 	r := NewRNG(5)
 	for i := 0; i < 1000; i++ {

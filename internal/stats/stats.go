@@ -234,7 +234,21 @@ type PointStats struct {
 	// Options.ConvergedBelowS). N = 0 unless the campaign kept
 	// timelines (Spec.Timeline) and the threshold was reached.
 	Convergence Estimate
+
+	// ServedP50/P99/P999 estimate the per-seed served-accuracy
+	// percentiles (seconds of client-observed error), ServedMax the
+	// per-seed worst served error, and ServedQPS the served requests
+	// per sim-second. N = 0 unless the campaign enabled a client
+	// population (cluster.Config.Serving).
+	ServedP50  Estimate
+	ServedP99  Estimate
+	ServedP999 Estimate
+	ServedMax  Estimate
+	ServedQPS  Estimate
 }
+
+// HasServing reports whether the point carries served-load estimates.
+func (ps *PointStats) HasServing() bool { return ps.ServedP99.N > 0 }
 
 // Aggregate groups results by point (harness.GroupByPoint order, i.e.
 // grid order) and estimates each metric across seeds. Errored cells
@@ -246,6 +260,7 @@ func Aggregate(results []harness.Result, opt Options) []PointStats {
 	for _, g := range groups {
 		ps := PointStats{Label: g.Label, Params: g.Params, Seeds: g.Seeds()}
 		var prec, worst, acc, width, conv []float64
+		var sp50, sp99, sp999, smax, sqps []float64
 		var seed0 uint64
 		for _, r := range g.Results {
 			if r.Err != "" {
@@ -262,6 +277,13 @@ func Aggregate(results []harness.Result, opt Options) []PointStats {
 			if t, ok := ConvergenceTime(r, opt.ConvergedBelowS); ok {
 				conv = append(conv, t)
 			}
+			if sv := r.Serving; sv != nil {
+				sp50 = append(sp50, sv.ErrP50S)
+				sp99 = append(sp99, sv.ErrP99S)
+				sp999 = append(sp999, sv.ErrP999S)
+				smax = append(smax, sv.ErrMaxS)
+				sqps = append(sqps, sv.QPS)
+			}
 		}
 		// One RNG root per point, derived from the first cell seed and
 		// the label, then one stream per metric: reports stay
@@ -272,6 +294,11 @@ func Aggregate(results []harness.Result, opt Options) []PointStats {
 		ps.Accuracy = Describe(acc, opt.Bootstrap, root.Derive("accuracy"))
 		ps.Width = Describe(width, opt.Bootstrap, root.Derive("width"))
 		ps.Convergence = Describe(conv, opt.Bootstrap, root.Derive("convergence"))
+		ps.ServedP50 = Describe(sp50, opt.Bootstrap, root.Derive("served-p50"))
+		ps.ServedP99 = Describe(sp99, opt.Bootstrap, root.Derive("served-p99"))
+		ps.ServedP999 = Describe(sp999, opt.Bootstrap, root.Derive("served-p999"))
+		ps.ServedMax = Describe(smax, opt.Bootstrap, root.Derive("served-max"))
+		ps.ServedQPS = Describe(sqps, opt.Bootstrap, root.Derive("served-qps"))
 		out = append(out, ps)
 	}
 	return out

@@ -94,6 +94,10 @@ const (
 	// see discipline.NameOf — V = proposed correction in seconds,
 	// before clock validation).
 	KindDiscipline
+	// KindQueryServed: a serving node answered one tick's batch of
+	// client time queries (A = queries in the batch, V = absolute clock
+	// error each of them observed, in seconds).
+	KindQueryServed
 
 	numKinds
 )
@@ -119,6 +123,7 @@ var kindNames = [numKinds]string{
 	KindFaultOnset:  "fault-onset",
 	KindFaultClear:  "fault-clear",
 	KindDiscipline:  "disc-step",
+	KindQueryServed: "query-served",
 }
 
 // kindArgs labels the A/B/V payload of each kind for the text
@@ -142,6 +147,7 @@ var kindArgs = [numKinds][3]string{
 	KindFaultOnset:  {"", "fault", "mag"},
 	KindFaultClear:  {"", "fault", ""},
 	KindDiscipline:  {"round", "disc", "corr"},
+	KindQueryServed: {"queries", "", "err"},
 }
 
 // String returns the kind's stable wire name.
