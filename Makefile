@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden serve-smoke serve-golden
+.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden serve-smoke serve-golden telemetry-smoke telemetry-golden
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -88,6 +88,25 @@ serve-smoke:
 	rm -rf build/serve-smoke
 	$(GO) run ./cmd/nticampaign -preset serving -seeds 3 -shards 4 -q -out build/serve-smoke >/dev/null
 	diff -u cmd/nticampaign/testdata/serving.golden.jsonl build/serve-smoke/campaign-serving.jsonl
+
+# telemetry-smoke runs the sharded campaign with runtime telemetry on
+# (4 shard workers) and byte-diffs the combined per-tick snapshot
+# artifact against the committed golden, which was generated with
+# -shards 1: every counter, gauge high-water and histogram quantile in
+# every snapshot must be bit-identical at any worker or shard-worker
+# count. Regenerate after an intentional change with `make
+# telemetry-golden`.
+telemetry-smoke:
+	rm -rf build/telemetry-smoke
+	$(GO) run ./cmd/nticampaign -preset sharded -shards 4 -telemetry -q -out build/telemetry-smoke >/dev/null
+	diff -u cmd/nticampaign/testdata/sharded.telemetry.golden.jsonl build/telemetry-smoke/campaign-sharded.telemetry.jsonl
+
+# telemetry-golden refreshes the committed telemetry snapshot golden
+# from a sequential (-shards 1) run.
+telemetry-golden:
+	rm -rf build/telemetry-golden
+	$(GO) run ./cmd/nticampaign -preset sharded -shards 1 -telemetry -q -out build/telemetry-golden >/dev/null
+	cp build/telemetry-golden/campaign-sharded.telemetry.jsonl cmd/nticampaign/testdata/sharded.telemetry.golden.jsonl
 
 # serve-golden refreshes the committed serving campaign golden from a
 # sequential (-shards 1) run.

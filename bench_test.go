@@ -15,6 +15,7 @@ import (
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 	"ntisim/internal/service"
+	"ntisim/internal/telemetry"
 )
 
 const benchSeed = 1998
@@ -229,6 +230,35 @@ func BenchmarkClusterScaling(b *testing.B) {
 
 func benchName(n int) string {
 	return fmt.Sprintf("nodes-%02d", n)
+}
+
+// BenchmarkTelemetryOverhead runs the nodes-32 scaling shape with the
+// telemetry registry detached and attached. The disabled variant must
+// match BenchmarkClusterScaling/nodes-32 within noise (the instrumented
+// hot paths reduce to nil-handle branches — see internal/cluster
+// TestTelemetrySteadyStateAllocParity); the enabled variant bounds the
+// honest cost of counting everything. Recorded in BENCH_kernel.json's
+// "telemetry" section.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		enabled := enabled
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.Defaults(32, benchSeed)
+				if enabled {
+					cfg.Telemetry = telemetry.New()
+				}
+				c := cluster.New(cfg)
+				c.Start(1)
+				c.Sim.RunUntil(30)
+			}
+			b.ReportMetric(30*float64(b.N)/b.Elapsed().Seconds(), "sim-s/s")
+		})
+	}
 }
 
 // BenchmarkServing measures the client-population load subsystem on the

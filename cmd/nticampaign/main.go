@@ -17,6 +17,9 @@
 //	                                         # precision crosses 2 µs
 //	nticampaign -preset sharded -shards 4    # multi-segment cells on 4
 //	                                         # shard workers each
+//	nticampaign -preset smoke -telemetry -out artifacts/  # + runtime metric
+//	                                         # snapshots and health flags
+//	nticampaign -preset matrix -monitor :8080  # live status for cmd/ntitop
 //
 // Golden files are regenerated with -write-golden after an intentional
 // behavior change and committed; -check then gates CI against them.
@@ -49,6 +52,7 @@ import (
 	"ntisim/internal/report"
 	"ntisim/internal/service"
 	"ntisim/internal/stats"
+	"ntisim/internal/telemetry"
 )
 
 // preset bundles a grid with the sampling schedule that suits it.
@@ -279,6 +283,8 @@ func main() {
 		refineTol   = flag.Float64("refine-tol", 0, "axis tolerance for -refine (default: range/64)")
 		refineCI    = flag.Bool("refine-ci", false, "variance-aware -refine: bisect only while the bootstrap 95% CI across seeds clears the target (use with -seeds > 1)")
 		shards      = flag.Int("shards", 0, "worker goroutines per multi-segment (sharded) cell; 0 = auto. Execution-only knob: artifacts are byte-identical for every value")
+		telem       = flag.Bool("telemetry", false, "capture runtime telemetry per cell: per-tick metric snapshots (with -out: one combined .telemetry.jsonl) plus watchdog health flags in artifacts and reports")
+		monitorAddr = flag.String("monitor", "", "serve live campaign status on this host:port (/campaign.json for ntitop, /metrics for Prometheus scrapers); implies -telemetry")
 		quiet       = flag.Bool("q", false, "suppress per-cell progress on stderr")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -393,6 +399,19 @@ func main() {
 	if !*quiet {
 		spec.Progress = os.Stderr
 	}
+	if *telem || *monitorAddr != "" {
+		spec.Telemetry = true
+	}
+	if *monitorAddr != "" {
+		mon := telemetry.NewMonitor()
+		addr, err := mon.Serve(*monitorAddr)
+		if err != nil {
+			fatalf("monitor: %v", err)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "nticampaign: monitor on http://%s/ (campaign.json, metrics)\n", addr)
+		spec.Monitor = mon
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -453,6 +472,11 @@ func main() {
 	tb.Fprint(os.Stdout)
 	fmt.Printf("\n%d cells, %.0f sim-s total in %.2fs wall (%.0f sim-s/s, %d workers)\n",
 		len(camp.Results), camp.TotalSimS(), camp.WallS, camp.TotalSimS()/camp.WallS, camp.Workers)
+	for _, r := range camp.Results {
+		if len(r.Health) > 0 {
+			fmt.Printf("health: cell %d (%s/seed=%d): %s\n", r.Cell, r.Label, r.Seed, strings.Join(r.Health, ", "))
+		}
+	}
 
 	if *outDir != "" {
 		paths, err := camp.WriteArtifacts(*outDir)

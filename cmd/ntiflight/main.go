@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ntisim/internal/discipline"
 	"ntisim/internal/gps"
@@ -27,6 +28,21 @@ import (
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ntiflight: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// presentKinds lists the distinct record kinds in the trace, in first-
+// appearance order.
+func presentKinds(recs []trace.Record) []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range recs {
+		k := recs[i].Kind.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -56,9 +72,26 @@ func main() {
 	}
 	fmt.Printf("%d records, t=%.6f..%.6f\n\n", len(recs), recs[0].T, recs[len(recs)-1].T)
 
+	hops := trace.FlightPath(recs)
+	matched := false
+	for _, h := range hops {
+		if h.N > 0 {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		// A zero-filled table would read as "everything took 0 µs". Name
+		// the kinds the trace does carry so the user can see what they
+		// loaded (e.g. a ring that wrapped past the CSP records, or a
+		// tracer configured without the flight-path kinds).
+		fatalf("no flight-path records in %s (need csp-send/tx-trigger/frame-tx/frame-rx/rx-trigger/rx-done/csp-arrival chains; trace carries: %s)",
+			*in, strings.Join(presentKinds(recs), ", "))
+	}
+
 	fmt.Println("flight path (per-hop latency, Fig. 3 stages):")
 	tb := metrics.Table{Header: []string{"hop", "n", "min [µs]", "median [µs]", "p99 [µs]", "max [µs]"}}
-	for _, h := range trace.FlightPath(recs) {
+	for _, h := range hops {
 		if h.N == 0 {
 			tb.AddRow(h.Name, "0", "-", "-", "-", "-")
 			continue

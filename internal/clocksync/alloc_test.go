@@ -49,7 +49,10 @@ func TestSteadyStateAllocationsPerRound(t *testing.T) {
 	perRound := float64(after.Mallocs-before.Mallocs) / float64(windowRounds)
 	t.Logf("%d mallocs over ~%d node-rounds (%.1f per node-round)",
 		after.Mallocs-before.Mallocs, windowRounds, perRound)
-	const budget = 30.0
+	// ~15.3 measured after caching the stamp-move and duty-timer method
+	// values (previously ~20 with a 30 budget); 22 keeps headroom for
+	// platform variance without readmitting either closure.
+	const budget = 22.0
 	if perRound > budget {
 		t.Errorf("steady-state allocations = %.1f per node-round, budget %.0f", perRound, budget)
 	}

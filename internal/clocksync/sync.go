@@ -6,6 +6,7 @@ import (
 	"ntisim/internal/interval"
 	"ntisim/internal/kernel"
 	"ntisim/internal/network"
+	"ntisim/internal/telemetry"
 	"ntisim/internal/timefmt"
 	"ntisim/internal/trace"
 )
@@ -180,11 +181,36 @@ type Synchronizer struct {
 	primarySeenRound uint32
 
 	tr *trace.Tracer
+
+	// Telemetry handles (SetTelemetry); nil-receiver no-ops when off.
+	tmRounds    *telemetry.Counter
+	tmFailed    *telemetry.Counter
+	tmRateCmds  *telemetry.Counter
+	tmWidth     *telemetry.Histogram
+	tmCorrOffst *telemetry.Histogram
 }
 
 // SetTracer attaches an event tracer (nil detaches). The synchronizer
 // emits round-start, round-update, round-fail and rate-adjust records.
 func (sy *Synchronizer) SetTracer(tr *trace.Tracer) { sy.tr = tr }
+
+// SetTelemetry registers the sync-layer metrics on r: round and
+// convergence-failure counters, discipline rate commands, the fused
+// accuracy-interval width histogram (post-validation, the quantity the
+// paper's precision bound is about) and the applied-correction magnitude
+// histogram. A nil r detaches.
+func (sy *Synchronizer) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		sy.tmRounds, sy.tmFailed, sy.tmRateCmds = nil, nil, nil
+		sy.tmWidth, sy.tmCorrOffst = nil, nil
+		return
+	}
+	sy.tmRounds = r.Counter("sync.rounds")
+	sy.tmFailed = r.Counter(telemetry.MetricConvergenceFailed)
+	sy.tmRateCmds = r.Counter("sync.rate_commands")
+	sy.tmWidth = r.Histogram("sync.fused_width_s")
+	sy.tmCorrOffst = r.Histogram("sync.correction_s")
+}
 
 type peerEntry struct {
 	iv      interval.Interval // real-time bounds at rx instant, local axis
@@ -379,6 +405,7 @@ func (sy *Synchronizer) converge(k uint32) {
 		return
 	}
 	sy.stats.Rounds++
+	sy.tmRounds.Inc()
 	now := sy.clk.Now()
 	am, ap := sy.clk.Alpha()
 
@@ -426,6 +453,7 @@ func (sy *Synchronizer) converge(k uint32) {
 	act, ok := sy.disc.Step(discipline.Sample{Round: k, Now: now, Intervals: ivs, F: sy.p.F})
 	if !ok {
 		sy.stats.ConvergenceFailed++
+		sy.tmFailed.Inc()
 		if sy.tr != nil {
 			sy.tr.Emit(trace.KindRoundFail, sy.node.Sim.Now(), int(sy.node.ID), 0, uint64(k), uint64(len(ivs)), 0)
 		}
@@ -491,7 +519,9 @@ func (sy *Synchronizer) converge(k uint32) {
 		sy.primaryUntil = sy.round + 2
 	}
 
+	sy.tmWidth.Observe(out.Hi().Sub(out.Lo()).Seconds())
 	sy.enforce(now, out)
+	sy.tmCorrOffst.Observe(sy.stats.LastCorrection.Abs().Seconds())
 	if sy.tr != nil {
 		sy.tr.Emit(trace.KindRoundUpdate, sy.node.Sim.Now(), int(sy.node.ID), 0,
 			uint64(k), uint64(len(ivs)), sy.stats.LastCorrection.Seconds())
@@ -500,6 +530,7 @@ func (sy *Synchronizer) converge(k uint32) {
 	if act.RateDeltaPPB != 0 {
 		sy.clk.SetRatePPB(sy.clk.RatePPB() + act.RateDeltaPPB)
 		sy.stats.RateCommands++
+		sy.tmRateCmds.Inc()
 		if sy.rate != nil {
 			// The rate-sync epoch's stamps now straddle a rate change;
 			// restart so its next estimate measures one rate, not two.

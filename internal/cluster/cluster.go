@@ -17,6 +17,7 @@ import (
 	"ntisim/internal/oscillator"
 	"ntisim/internal/service"
 	"ntisim/internal/sim"
+	"ntisim/internal/telemetry"
 	"ntisim/internal/timefmt"
 	"ntisim/internal/trace"
 	"ntisim/internal/utcsu"
@@ -86,6 +87,13 @@ type Config struct {
 	// receivers). One Tracer belongs to exactly one cluster — like the
 	// simulator, it is single-threaded state.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, wires the runtime metrics registry
+	// through every layer (kernel counters, bus gauges, sync histograms,
+	// serving counters). Sharded clusters create one private registry
+	// per shard (single-threaded, like per-shard tracers) and treat this
+	// one as the driver-level registry; TelemetrySnapshot merges them.
+	// One Registry belongs to exactly one cluster.
+	Telemetry *telemetry.Registry
 }
 
 // Defaults returns a ready-to-run n-node configuration.
@@ -186,7 +194,8 @@ type Cluster struct {
 	// regular node, in member order) when cfg.Serving enables a client
 	// population; empty otherwise. See serving.go.
 	ServingGens []*service.Generator
-	tracers     []*trace.Tracer // per-shard tracers of a sharded cluster
+	tracers     []*trace.Tracer       // per-shard tracers of a sharded cluster
+	telems      []*telemetry.Registry // per-shard registries of a sharded cluster
 	cfg         Config
 }
 
@@ -209,6 +218,10 @@ func New(cfg Config) *Cluster {
 	if cfg.Tracer != nil {
 		s.SetTracer(cfg.Tracer)
 		med.SetTracer(cfg.Tracer)
+	}
+	if cfg.Telemetry != nil {
+		s.SetTelemetry(cfg.Telemetry)
+		med.SetTelemetry(cfg.Telemetry)
 	}
 	c := &Cluster{Sim: s, Med: med, Media: []*network.Medium{med}, cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -245,6 +258,7 @@ func New(cfg Config) *Cluster {
 				m.Rx.SetTracer(cfg.Tracer, i)
 			}
 		}
+		m.Sync.SetTelemetry(cfg.Telemetry)
 		c.Members = append(c.Members, m)
 	}
 	if cfg.BackgroundLoad > 0 {
@@ -321,6 +335,23 @@ func (c *Cluster) Snapshot() metrics.ClusterSample {
 		nodes[i] = m
 	}
 	return metrics.Sample(c.Now(), nodes)
+}
+
+// TelemetrySnapshot merges the cluster's registries (the configured one
+// plus, when sharded, the per-shard registries) into one sim-time
+// Snapshot. ok is false when the cluster was built without telemetry.
+// Call only between RunUntil calls — registries are barrier state.
+func (c *Cluster) TelemetrySnapshot() (telemetry.Snapshot, bool) {
+	if c.cfg.Telemetry == nil {
+		return telemetry.Snapshot{}, false
+	}
+	if len(c.telems) == 0 {
+		return telemetry.Capture(c.Now(), c.cfg.Telemetry), true
+	}
+	regs := make([]*telemetry.Registry, 0, len(c.telems)+1)
+	regs = append(regs, c.cfg.Telemetry)
+	regs = append(regs, c.telems...)
+	return telemetry.Capture(c.Now(), regs...), true
 }
 
 // RunSampled advances the simulation to `until`, sampling the cluster

@@ -69,6 +69,13 @@ func (c *Cluster) attachServing() {
 			off, _, _ := mem.OffsetAndBounds()
 			return math.Abs(off)
 		}, tr)
+		if c.cfg.Telemetry != nil {
+			reg := c.cfg.Telemetry
+			if c.telems != nil {
+				reg = c.telems[m.Shard]
+			}
+			g.SetTelemetry(reg)
+		}
 		c.ServingGens = append(c.ServingGens, g)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"ntisim/internal/network"
 	"ntisim/internal/oscillator"
 	"ntisim/internal/sim"
+	"ntisim/internal/telemetry"
 	"ntisim/internal/timefmt"
 	"ntisim/internal/trace"
 	"ntisim/internal/utcsu"
@@ -87,6 +88,10 @@ func newSharded(cfg Config) *Cluster {
 	sims := make([]*sim.Simulator, segs)
 	tracers := make([]*trace.Tracer, segs)
 	media := make([]*network.Medium, segs)
+	var telems []*telemetry.Registry
+	if cfg.Telemetry != nil {
+		telems = make([]*telemetry.Registry, segs)
+	}
 	for i := range sims {
 		sims[i] = sim.New(sim.DeriveSeed(cfg.Seed, fmt.Sprintf("shard/%d", i)))
 		if cfg.Tracer != nil {
@@ -96,14 +101,36 @@ func newSharded(cfg Config) *Cluster {
 		}
 		media[i] = network.NewMedium(sims[i], cfg.Medium)
 		media[i].SetTracer(tracers[i])
+		if telems != nil {
+			// One private registry per shard, updated only by that
+			// shard's single-threaded simulator — the trace-ring pattern.
+			telems[i] = telemetry.New()
+			telems[i].SetShard(i)
+			sims[i].SetTelemetry(telems[i])
+			media[i].SetTelemetry(telems[i])
+		}
 	}
 	group := sim.NewGroup(wan, workers, sims)
+	if cfg.Telemetry != nil {
+		// Driver-level metrics (windows, flush sizes, imbalance) go on
+		// the cluster's own registry — only touched between windows.
+		group.SetTelemetry(cfg.Telemetry)
+		for i := range sims {
+			s := sims[i]
+			// Cumulative per-shard progress and window lag, read at
+			// capture time (barrier): how many events the shard has fired
+			// and how far short of the group clock it went idle.
+			telems[i].GaugeFunc(telemetry.MetricShardEvents, func() float64 { return float64(s.EventCount()) })
+			telems[i].GaugeFunc("group.shard_lag_s", func() float64 { return group.Now() - s.LastFiredAt() })
+		}
+	}
 	c := &Cluster{
 		Sim:     sims[0],
 		Med:     media[0],
 		Media:   media,
 		Group:   group,
 		tracers: tracers,
+		telems:  telems,
 		cfg:     cfg,
 	}
 
@@ -144,6 +171,9 @@ func newSharded(cfg Config) *Cluster {
 				m.Rx.SetTracer(tr, int(id))
 			}
 		}
+		if telems != nil {
+			m.Sync.SetTelemetry(telems[shard])
+		}
 		id++
 		c.Members = append(c.Members, m)
 		return m
@@ -173,6 +203,10 @@ func newSharded(cfg Config) *Cluster {
 			relay = network.NewRelay(media[remote], func(f network.Frame) {
 				group.Post(remote, home, sims[remote].Now()+wan, func() { port.Inject(f) })
 			}, rw)
+			if telems != nil {
+				port.SetTelemetry(telems[home])
+				relay.SetTelemetry(telems[remote])
+			}
 			gw.Node.AttachSegment(port)
 		}
 	}

@@ -14,6 +14,9 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
+
+	"ntisim/internal/telemetry"
 )
 
 // WriteJSONL writes one compact JSON record per result, in cell order.
@@ -42,6 +45,9 @@ var csvHeader = []string{
 	// Serving columns are empty for cells without a client population.
 	"clients", "served_queries", "served_qps",
 	"served_err_p50_s", "served_err_p99_s", "served_err_p999_s", "served_err_max_s",
+	// health is the ';'-joined watchdog flag list (empty = healthy or
+	// telemetry disabled).
+	"health",
 }
 
 // WriteCSV writes the key statistics of every cell as one flat row.
@@ -71,12 +77,35 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 		} else {
 			row = append(row, "", "", "", "", "", "", "")
 		}
+		row = append(row, strings.Join(r.Health, ";"))
 		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteTelemetryJSONL writes every cell's snapshot stream as one
+// combined JSONL: each line is a telemetry.Snapshot tagged with its
+// cell ID, in cell order. Snapshots are pure functions of (config,
+// seed, sim time), so for a fixed spec the bytes are identical at any
+// worker count — and, for sharded configs, at any shard-worker count.
+func (c *Campaign) WriteTelemetryJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	type line struct {
+		Cell int `json:"cell"`
+		telemetry.Snapshot
+	}
+	for i := range c.Results {
+		r := &c.Results[i]
+		for _, s := range r.Telemetry {
+			if err := enc.Encode(line{Cell: r.Cell, Snapshot: s}); err != nil {
+				return fmt.Errorf("harness: telemetry jsonl cell %d: %w", r.Cell, err)
+			}
+		}
+	}
+	return nil
 }
 
 // ManifestPoint records one grid point in the manifest.
@@ -186,6 +215,11 @@ func (c *Campaign) WriteArtifacts(dir string) ([]string, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.Spec.Telemetry {
+		if err := write(".telemetry.jsonl", c.WriteTelemetryJSONL); err != nil {
+			return nil, err
+		}
 	}
 	// Per-cell trace artifacts (Spec.Trace campaigns). One file per
 	// cell, named by the stable cell index, written in grid order —

@@ -21,6 +21,7 @@ import (
 	"ntisim/internal/cluster"
 	"ntisim/internal/metrics"
 	"ntisim/internal/service"
+	"ntisim/internal/telemetry"
 	"ntisim/internal/trace"
 )
 
@@ -86,6 +87,23 @@ type Spec struct {
 	// TraceOpts tunes the per-cell tracers when Trace is set (zero value
 	// = defaults: 16384-record rings, no dispatch/DMA-word records).
 	TraceOpts trace.Options
+
+	// Telemetry attaches a runtime metrics registry to every cell's
+	// cluster (cluster.Config.Telemetry) and captures one
+	// telemetry.Snapshot per sampling tick into Result.Telemetry;
+	// WriteArtifacts then adds one combined <name>.telemetry.jsonl. Each
+	// cell owns its own registry, captured at shard barriers, so the
+	// snapshot stream is byte-deterministic regardless of worker or
+	// shard-worker count. Watchdog health rules run over the same
+	// snapshots and land in Result.Health.
+	Telemetry bool
+	// Watchdog tunes the health rules when Telemetry is set (zero value
+	// = defaults, see telemetry.WatchdogConfig).
+	Watchdog telemetry.WatchdogConfig
+	// Monitor, when non-nil, receives live campaign lifecycle events and
+	// per-tick snapshots for the HTTP endpoint (cmd/ntitop). Monitor
+	// state is wall-clock territory and never feeds artifacts.
+	Monitor *telemetry.Monitor
 
 	// Workers sizes the pool (default GOMAXPROCS).
 	Workers int
@@ -199,6 +217,10 @@ type Result struct {
 	// keep pre-serving artifact lines byte-identical.
 	Serving *service.Stats `json:"serving,omitempty"`
 
+	// Health lists the watchdog flags the cell tripped (only when
+	// Spec.Telemetry; omitted — and byte-invisible — when healthy).
+	Health []string `json:"health,omitempty"`
+
 	Err string `json:"error,omitempty"`
 
 	Timeline []TimelinePoint `json:"timeline,omitempty"`
@@ -207,6 +229,11 @@ type Result struct {
 	// Excluded from the Result JSON — traces are written as their own
 	// per-cell JSONL artifacts, keeping the campaign JSONL stable.
 	Trace *trace.Tracer `json:"-"`
+
+	// Telemetry is the cell's snapshot stream (only when Spec.Telemetry).
+	// Excluded from the Result JSON — snapshots are written to the
+	// combined <name>.telemetry.jsonl artifact instead.
+	Telemetry []telemetry.Snapshot `json:"-"`
 }
 
 // Key matches Cell.Key for golden lookups.
@@ -262,11 +289,14 @@ func Run(spec Spec) *Campaign {
 	camp := &Campaign{Spec: sp, Results: make([]Result, len(cells)), Workers: sp.Workers}
 
 	start := time.Now()
+	sp.Monitor.Begin(sp.Name, len(cells))
 	var mu sync.Mutex // progress writer + completion counter
 	done := 0
-	ForEach(sp.Workers, len(cells), func(i int) {
+	ForEachWorker(sp.Workers, len(cells), func(worker, i int) {
 		cell := cells[i]
+		sp.Monitor.CellStart(worker, cell.Key())
 		r := runCell(&sp, cell)
+		sp.Monitor.CellEnd(worker, cell.Key(), r.SimS, r.Health, r.Err != "")
 		camp.Results[cell.Index] = r
 		if sp.Progress != nil {
 			mu.Lock()
@@ -309,6 +339,18 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 		res.Trace = trace.New(sp.TraceOpts)
 		cfg.Tracer = res.Trace
 	}
+	// Each cell gets its own registry and watchdog — like the tracer,
+	// they are fed only from the cell's own simulator(s), so the
+	// snapshot stream is deterministic at any worker count. The harness
+	// mirrors its containment verdicts into the registry so watchdog
+	// rules can key on them.
+	var wd *telemetry.Watchdog
+	var tmViol *telemetry.Counter
+	if sp.Telemetry {
+		cfg.Telemetry = telemetry.New()
+		wd = telemetry.NewWatchdog(sp.Watchdog)
+		tmViol = cfg.Telemetry.Counter(telemetry.MetricContainment)
+	}
 
 	c := cluster.New(cfg)
 	if sp.DelayProbes > 0 && len(c.Members) >= 2 {
@@ -348,8 +390,15 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 		width.Add(w.Mean())
 		if !cs.Contained {
 			res.ContainmentViolations++
+			tmViol.Inc()
 		}
 		res.Samples++
+		if sp.Telemetry {
+			snap, _ := c.TelemetrySnapshot()
+			wd.Observe(snap)
+			res.Telemetry = append(res.Telemetry, snap)
+			sp.Monitor.Publish(snap)
+		}
 		if sp.Timeline {
 			var ea, er uint64
 			for _, m := range c.Members {
@@ -394,6 +443,9 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 		// Sharded clusters trace per shard; Trace() returns the merged
 		// canonical-order tracer (the configured one for unsharded).
 		res.Trace = c.Trace()
+	}
+	if wd != nil {
+		res.Health = wd.Flags()
 	}
 	return res
 }

@@ -12,6 +12,15 @@ import (
 // deterministic regardless of scheduling order (campaign cells in Run,
 // experiment tables in cmd/ntibench).
 func ForEach(workers, n int, task func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { task(i) })
+}
+
+// ForEachWorker is ForEach with the pool slot exposed: task receives
+// (worker, i) where worker ∈ [0, workers) identifies the goroutine
+// running it. Task results must not depend on the worker id — it
+// exists for wall-clock observability (telemetry.Monitor per-worker
+// status), never for output.
+func ForEachWorker(workers, n int, task func(worker, i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -20,7 +29,7 @@ func ForEach(workers, n int, task func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 		return
 	}
@@ -28,12 +37,12 @@ func ForEach(workers, n int, task func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range work {
-				task(i)
+				task(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		work <- i

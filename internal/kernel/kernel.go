@@ -120,6 +120,11 @@ type Node struct {
 	// in id order by the cluster builder, so the default is identity.
 	stationOf func(uint16) int
 
+	// stampMoveFn caches the stampMoveISR method value: moduleISR runs
+	// once per received frame, and a fresh bound-method closure per
+	// interrupt was the largest allocation site of a campaign run.
+	stampMoveFn func()
+
 	comcoCfg comco.Config
 	tr       *trace.Tracer
 }
@@ -163,6 +168,7 @@ func NewNode(s *sim.Simulator, id uint16, u *utcsu.UTCSU, med network.Bus, cfg C
 	}
 	n.NTI = nti.New(u)
 	n.comcoCfg = comcoCfg
+	n.stampMoveFn = n.stampMoveISR
 	n.NTI.OnInterrupt(n.moduleISR)
 	n.NTI.EnableInts()
 	n.AttachSegment(med)
@@ -286,7 +292,7 @@ func (n *Node) sendData(kind csp.Kind, dst int, payload []byte) {
 // interrupt. A RECEIVE transition (INTN) dispatches the stamp-move ISR.
 func (n *Node) moduleISR(vector uint8) {
 	if vector&nti.VecINTN != 0 && n.cfg.Mode == ModeNTI {
-		n.CPU.RunISR(n.stampMoveISR)
+		n.CPU.RunISR(n.stampMoveFn)
 		return
 	}
 	// Timer/application interrupts re-enable immediately: duty-timer

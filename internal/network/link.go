@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"ntisim/internal/sim"
+	"ntisim/internal/telemetry"
 )
 
 // LinkConfig parameterizes one direction-symmetric point-to-point link.
@@ -80,6 +81,20 @@ type LinkPort struct {
 	nextID      uint64
 	sent        uint64
 	received    uint64
+
+	tmTx *telemetry.Counter
+	tmRx *telemetry.Counter
+}
+
+// SetTelemetry registers WAN-traffic counters (uplink frames forwarded,
+// downlink frames delivered) on r; nil detaches.
+func (p *LinkPort) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		p.tmTx, p.tmRx = nil, nil
+		return
+	}
+	p.tmTx = r.Counter("net.wan_tx")
+	p.tmRx = r.Counter("net.wan_rx")
 }
 
 // NewLinkPort creates the home end of a link on the home shard's
@@ -142,6 +157,7 @@ func (p *LinkPort) Send(f Frame, onAcquired func(at float64)) uint64 {
 		// the payload from the sender before it crosses shards.
 		f.Payload = append([]byte(nil), f.Payload...)
 		p.sent++
+		p.tmTx.Inc()
 		p.forward(f)
 	})
 	return f.ID
@@ -170,6 +186,7 @@ func (p *LinkPort) Inject(f Frame) {
 		f.AcquiredAt = start
 		f.DeliveredAt = end
 		p.received++
+		p.tmRx.Inc()
 		p.st.FrameArrived(f)
 	})
 }
@@ -189,6 +206,17 @@ type Relay struct {
 	id      int
 	forward func(f Frame)
 	rewrite RewriteFunc
+	tmFwd   *telemetry.Counter
+}
+
+// SetTelemetry registers the relay-traffic counter (remote-LAN frames
+// captured for the far gateway) on r; nil detaches.
+func (r *Relay) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		r.tmFwd = nil
+		return
+	}
+	r.tmFwd = reg.Counter("net.relay_fwd")
 }
 
 // NewRelay attaches a relay to the remote medium.
@@ -209,6 +237,7 @@ func (r *Relay) StationID() int { return r.id }
 // shard, so the cross-shard post owns it exclusively.
 func (r *Relay) FrameArrived(f Frame) {
 	f.Payload = append([]byte(nil), f.Payload...)
+	r.tmFwd.Inc()
 	r.forward(f)
 }
 

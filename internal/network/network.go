@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ntisim/internal/sim"
+	"ntisim/internal/telemetry"
 	"ntisim/internal/trace"
 )
 
@@ -164,6 +165,15 @@ type Medium struct {
 	startNextFn func()
 	freeDeliv   []*delivery
 	bgPayload   []byte
+
+	// Telemetry handles (SetTelemetry); nil-receiver no-ops when off.
+	tmSent      *telemetry.Counter
+	tmLost      *telemetry.Counter
+	tmCorrupt   *telemetry.Counter
+	tmBg        *telemetry.Counter
+	tmContended *telemetry.Counter
+	tmBacklog   *telemetry.Gauge
+	tmBusy      *telemetry.Gauge
 }
 
 // NewMedium attaches a broadcast bus to the simulator.
@@ -209,6 +219,26 @@ func (m *Medium) FrameDuration(n int) float64 {
 // changes timing on behalf of the tracer.
 func (m *Medium) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
+// SetTelemetry registers the bus metrics on r: frames sent/lost/corrupt,
+// background frames, contended acquisitions (frames that found the bus
+// busy — the shared-Ethernet stand-in for collisions), the tx-ring
+// backlog gauge and the cumulative bus-busy-seconds integral (occupancy
+// = Δbusy/Δt between snapshots). A nil r detaches.
+func (m *Medium) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		m.tmSent, m.tmLost, m.tmCorrupt, m.tmBg, m.tmContended = nil, nil, nil, nil, nil
+		m.tmBacklog, m.tmBusy = nil, nil
+		return
+	}
+	m.tmSent = r.Counter("net.frames_sent")
+	m.tmLost = r.Counter("net.frames_lost")
+	m.tmCorrupt = r.Counter("net.crc_corrupt")
+	m.tmBg = r.Counter("net.bg_frames")
+	m.tmContended = r.Counter("net.contended")
+	m.tmBacklog = r.Gauge("net.tx_backlog")
+	m.tmBusy = r.Gauge("net.bus_busy_s")
+}
+
 // Send queues a frame for transmission and returns the frame's
 // medium-assigned trace id (monotone from 1 per medium). onAcquired, if
 // non-nil, fires at the moment serialization begins (the sender's COMCO
@@ -219,6 +249,7 @@ func (m *Medium) Send(f Frame, onAcquired func(at float64)) uint64 {
 	f.ID = m.nextID
 	f.RequestedAt = m.s.Now()
 	m.queue = append(m.queue, pendingTx{frame: f, onAcquired: onAcquired})
+	m.tmBacklog.Set(float64(len(m.queue) - m.head))
 	if !m.busy {
 		m.startNext()
 	}
@@ -251,6 +282,7 @@ func (m *Medium) startNext() {
 	delay := m.cfg.InterframeS
 	if m.cfg.AccessJitterS > 0 && tx.frame.RequestedAt < m.s.Now() {
 		delay += m.rng.Uniform(0, m.cfg.AccessJitterS)
+		m.tmContended.Inc()
 	}
 	m.cur = tx
 	m.s.After(delay, m.transmitFn)
@@ -284,11 +316,16 @@ func (m *Medium) transmitCur() {
 	f.AcquiredAt = start
 	dur := m.FrameDuration(len(f.Payload))
 	end := start + dur
+	m.tmBusy.Add(dur)
+	if f.Src == BackgroundSrc {
+		m.tmBg.Inc()
+	}
 	if m.partitioned {
 		if m.tr != nil {
 			m.tr.Emit(trace.KindFrameLost, start, f.Src, 0, f.ID, uint64(len(f.Payload)), dur)
 		}
 		m.sent++
+		m.tmLost.Inc()
 		m.s.At(end, m.startNextFn)
 		return
 	}
@@ -313,6 +350,7 @@ func (m *Medium) transmitCur() {
 		m.scheduleDelivery(m.stations[f.Dst], f.Dst, f, end)
 	}
 	m.sent++
+	m.tmSent.Inc()
 	m.s.At(end, m.startNextFn)
 }
 
@@ -327,6 +365,7 @@ func (m *Medium) scheduleDelivery(st Station, id int, f Frame, end float64) {
 	d.f.Corrupt = m.cfg.CRCErrorProb > 0 && m.rng.Bool(m.cfg.CRCErrorProb)
 	if d.f.Corrupt {
 		m.dropped++
+		m.tmCorrupt.Inc()
 	}
 	m.s.At(d.f.DeliveredAt, d.run)
 }

@@ -116,6 +116,7 @@ func Generate(w io.Writer, title string, results []harness.Result, opt stats.Opt
 	fmt.Fprintf(bw, ". All times in µs.\n\n")
 
 	writeAggregateTable(bw, agg)
+	writeHealth(bw, results)
 	writeConvergence(bw, agg, opt)
 	writeServing(bw, agg)
 	writeDisciplineRanking(bw, agg)
@@ -146,6 +147,42 @@ func writeAggregateTable(w io.Writer, agg []stats.PointStats) {
 			us(p.Precision.Mean), ci(p.Precision.Lo, p.Precision.Hi),
 			ci(p.Precision.BootLo, p.Precision.BootHi),
 			us(p.PrecisionWorst.Mean), us(p.Accuracy.Mean), us(p.Width.Mean))
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// writeHealth lists the cells whose telemetry watchdog tripped. Cells
+// without flags are omitted, and campaigns with no flagged cell (or no
+// telemetry at all) skip the section entirely, keeping their reports
+// byte-identical to before it existed.
+func writeHealth(w io.Writer, results []harness.Result) {
+	any := false
+	for i := range results {
+		if len(results[i].Health) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "## Health flags (telemetry watchdog)\n\n")
+	fmt.Fprintf(w, "Cells whose runtime-telemetry watchdog tripped at least one rule\n(containment violation, convergence failures, queue-depth runaway, or\na stalled shard). Healthy cells are omitted.\n\n")
+	fmt.Fprintf(w, "| cell | point | seed | flags |\n")
+	fmt.Fprintf(w, "|---|---|---|---|\n")
+	for i := range results {
+		r := &results[i]
+		if len(r.Health) == 0 {
+			continue
+		}
+		flags := ""
+		for j, f := range r.Health {
+			if j > 0 {
+				flags += ", "
+			}
+			flags += "`" + f + "`"
+		}
+		fmt.Fprintf(w, "| %d | %s | %d | %s |\n", r.Cell, r.Label, r.Seed, flags)
 	}
 	fmt.Fprintf(w, "\n")
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ntisim/internal/sim"
+	"ntisim/internal/telemetry"
 	"ntisim/internal/trace"
 )
 
@@ -145,6 +146,21 @@ type Generator struct {
 
 	queries uint64
 	ticker  *sim.Ticker
+
+	tmQueries *telemetry.Counter
+	tmBurst   *telemetry.Histogram
+}
+
+// SetTelemetry registers the serving metrics on r: a served-query
+// counter and the per-tick arrival burst-size histogram. A nil r
+// detaches.
+func (g *Generator) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		g.tmQueries, g.tmBurst = nil, nil
+		return
+	}
+	g.tmQueries = r.Counter("svc.queries")
+	g.tmBurst = r.Histogram("svc.tick_batch")
 }
 
 // New builds a generator serving qps mean queries per sim-second on s.
@@ -226,6 +242,8 @@ func (g *Generator) step() {
 	}
 	g.sk.AddN(err, n)
 	g.queries += n
+	g.tmQueries.Add(n)
+	g.tmBurst.Observe(float64(n))
 	if g.tr != nil {
 		g.tr.Emit(trace.KindQueryServed, now, g.node, 0, n, 0, err)
 	}

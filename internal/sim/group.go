@@ -24,6 +24,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"ntisim/internal/telemetry"
 )
 
 // DeriveSeed maps a scenario seed and a label to the seed of an
@@ -74,6 +76,16 @@ type Group struct {
 	wstart []chan float64
 	wdone  chan struct{}
 	wpanic []any
+
+	// Telemetry handles (SetTelemetry): window count, flushed cross-shard
+	// posts, events per window and the per-window shard imbalance ratio.
+	// All updates happen on the driving goroutine strictly between
+	// windows, so they are as deterministic as the window boundaries.
+	tmWindows   *telemetry.Counter
+	tmPosts     *telemetry.Counter
+	tmWinEvents *telemetry.Gauge
+	tmImbalance *telemetry.Gauge
+	tmPrevFired []uint64 // per-shard fired counts at the last barrier
 }
 
 // NewGroup builds a Group over the given shards. lookahead is the
@@ -125,6 +137,48 @@ func (g *Group) EventCount() uint64 {
 	return n
 }
 
+// SetTelemetry registers the group's conservative-sync metrics on r:
+// a window counter, a flushed cross-shard post counter, an
+// events-per-window gauge and a shard-imbalance gauge (busiest shard's
+// window events over the per-shard mean; 1.0 = perfectly balanced, S =
+// one shard did all the work). A nil r detaches.
+//
+// Wall-clock worker utilization is deliberately absent: it would differ
+// run to run, and snapshots must stay a pure function of sim state. The
+// live Monitor owns wall-clock observations.
+func (g *Group) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		g.tmWindows, g.tmPosts, g.tmWinEvents, g.tmImbalance = nil, nil, nil, nil
+		g.tmPrevFired = nil
+		return
+	}
+	g.tmWindows = r.Counter("group.windows")
+	g.tmPosts = r.Counter("group.posts_flushed")
+	g.tmWinEvents = r.Gauge("group.window_events")
+	g.tmImbalance = r.Gauge("group.imbalance")
+	g.tmPrevFired = make([]uint64, len(g.shards))
+}
+
+// windowTelemetry records one completed window: total events fired in it
+// and how unevenly the shards shared them.
+func (g *Group) windowTelemetry() {
+	g.tmWindows.Inc()
+	var total, max uint64
+	for i, s := range g.shards {
+		d := s.EventCount() - g.tmPrevFired[i]
+		g.tmPrevFired[i] = s.EventCount()
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	g.tmWinEvents.Set(float64(total))
+	if total > 0 {
+		mean := float64(total) / float64(len(g.shards))
+		g.tmImbalance.Set(float64(max) / mean)
+	}
+}
+
 // Post schedules fn to run on shard dst at absolute time at. It may be
 // called from shard src's event callbacks while a window executes (and
 // from the driving goroutine between windows). The target time must
@@ -152,6 +206,7 @@ func (g *Group) flush() {
 		m = append(m, g.outbox[src]...)
 		g.outbox[src] = g.outbox[src][:0]
 	}
+	g.tmPosts.Add(uint64(len(m)))
 	if len(m) > 1 {
 		// Stable sort on target time: ties keep concatenation order,
 		// i.e. (source shard, posting order).
@@ -191,6 +246,9 @@ func (g *Group) RunUntil(horizon float64) float64 {
 		}
 		g.flush()
 		g.now = end
+		if g.tmWindows != nil {
+			g.windowTelemetry()
+		}
 	}
 	return g.now
 }

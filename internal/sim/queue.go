@@ -48,6 +48,8 @@ func (s *Simulator) pushNode(n node) {
 	}
 	q[i] = n
 	s.queue = q
+	s.tmScheduled.Inc()
+	s.tmDepth.Set(float64(len(q)))
 }
 
 // popNode removes and returns the minimum node. The caller guarantees

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 
+	"ntisim/internal/telemetry"
 	"ntisim/internal/trace"
 )
 
@@ -54,6 +55,7 @@ func (e *Event) Cancel() {
 	}
 	e.state = stateCancelled
 	s := e.owner
+	s.tmCancelled.Inc()
 	s.tombstones++
 	if s.tombstones >= compactFloor && s.tombstones > len(s.queue)/2 {
 		s.compact()
@@ -66,12 +68,13 @@ func (e *Event) Pending() bool { return e != nil && e.state == statePending }
 // Simulator owns the event queue and the current simulated time.
 // The zero value is not usable; call New.
 type Simulator struct {
-	now   float64
-	seq   uint64
-	queue []node
-	root  *RNG
-	limit float64 // horizon; 0 = none
-	fired uint64
+	now       float64
+	seq       uint64
+	queue     []node
+	root      *RNG
+	limit     float64 // horizon; 0 = none
+	fired     uint64
+	lastFired float64 // firing time of the most recent event
 
 	// events is the arena the queue's pointer-free nodes index into;
 	// free lists the recycled entries ready for reuse.
@@ -83,6 +86,14 @@ type Simulator struct {
 	// attached (see SetTracer); the fire loops then emit one
 	// KindEventFire record per dispatched event.
 	tr *trace.Tracer
+
+	// Telemetry handles (see SetTelemetry). All nil when telemetry is
+	// off; their methods are nil-receiver no-ops, so the hot paths pay
+	// one predictable branch each — same contract as tr above.
+	tmScheduled *telemetry.Counter
+	tmFired     *telemetry.Counter
+	tmCancelled *telemetry.Counter
+	tmDepth     *telemetry.Gauge
 }
 
 // New creates a Simulator whose stochastic components derive their RNG
@@ -99,6 +110,31 @@ func (s *Simulator) RNG(label string) *RNG { return s.root.Derive(label) }
 
 // EventCount returns the number of events fired so far (for diagnostics).
 func (s *Simulator) EventCount() uint64 { return s.fired }
+
+// LastFiredAt returns the simulated time of the most recently fired
+// event (0 before any event fires). The sharded kernel's telemetry uses
+// it to expose per-shard window lag — how far behind the group clock a
+// shard went idle.
+func (s *Simulator) LastFiredAt() float64 { return s.lastFired }
+
+// SetTelemetry registers this simulator's kernel metrics on r and keeps
+// the update handles: events scheduled/fired/cancelled counters and the
+// event-queue depth gauge (with high-water mark), plus snapshot-time
+// pool-occupancy gauges (arena size and free-list length) that cost
+// nothing between captures. A nil r detaches, restoring the all-nil
+// handles of the free disabled path.
+func (s *Simulator) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		s.tmScheduled, s.tmFired, s.tmCancelled, s.tmDepth = nil, nil, nil, nil
+		return
+	}
+	s.tmScheduled = r.Counter("sim.events_scheduled")
+	s.tmFired = r.Counter(telemetry.MetricEventsFired)
+	s.tmCancelled = r.Counter("sim.events_cancelled")
+	s.tmDepth = r.Gauge(telemetry.MetricQueueDepth)
+	r.GaugeFunc("sim.pool_events", func() float64 { return float64(len(s.events)) })
+	r.GaugeFunc("sim.pool_free", func() float64 { return float64(len(s.free)) })
+}
 
 // SetTracer attaches an event tracer. Dispatch records are only kept
 // when the tracer asks for them (trace.Options.Dispatch) — otherwise
@@ -228,6 +264,8 @@ func (s *Simulator) Run() float64 {
 		}
 		s.now = n.at
 		s.fired++
+		s.lastFired = n.at
+		s.tmFired.Inc()
 		if s.tr != nil {
 			s.tr.Emit(trace.KindEventFire, s.now, -1, 0, n.seq, 0, 0)
 		}
@@ -255,6 +293,8 @@ func (s *Simulator) RunUntil(horizon float64) float64 {
 		}
 		s.now = n.at
 		s.fired++
+		s.lastFired = n.at
+		s.tmFired.Inc()
 		if s.tr != nil {
 			s.tr.Emit(trace.KindEventFire, s.now, -1, 0, n.seq, 0, 0)
 		}

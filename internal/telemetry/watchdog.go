@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metric names the watchdog rules key on. Layers register these exact
+// names; the watchdog only sees merged snapshots, so it is decoupled from
+// the instrumented packages.
+const (
+	// MetricContainment counts reference-interval containment violations
+	// observed by the harness sample loop.
+	MetricContainment = "sync.containment_violations"
+	// MetricConvergenceFailed counts clocksync rounds whose interval
+	// fusion failed to produce a valid result.
+	MetricConvergenceFailed = "sync.convergence_failed"
+	// MetricQueueDepth is the event-queue depth gauge (per shard when
+	// sharded: "sim.queue_depth@N").
+	MetricQueueDepth = "sim.queue_depth"
+	// MetricShardEvents is the cumulative per-shard fired-event gauge
+	// ("group.shard_events@N"), used for stall detection.
+	MetricShardEvents = "group.shard_events"
+	// MetricEventsFired is the merged fired-event counter.
+	MetricEventsFired = "sim.events_fired"
+)
+
+// WatchdogConfig sets the health-rule thresholds. The zero value gets
+// sane defaults from NewWatchdog.
+type WatchdogConfig struct {
+	// QueueDepthLimit flags "queue-depth-runaway" when any event-queue
+	// depth high-water exceeds it. Default 1<<20.
+	QueueDepthLimit float64 `json:"queue_depth_limit,omitempty"`
+	// StallSnapshots flags "shard-stall@N" when shard N fires no events
+	// for this many consecutive snapshots while the rest of the cluster
+	// advances. Default 3.
+	StallSnapshots int `json:"stall_snapshots,omitempty"`
+	// ContainmentLimit flags "containment-violation" when the violation
+	// counter exceeds it. Default 0 (any violation flags).
+	ContainmentLimit uint64 `json:"containment_limit,omitempty"`
+	// ConvergenceFailLimit flags "convergence-failures" when the failed
+	// round counter exceeds it. Default 0.
+	ConvergenceFailLimit uint64 `json:"convergence_fail_limit,omitempty"`
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.QueueDepthLimit == 0 {
+		c.QueueDepthLimit = 1 << 20
+	}
+	if c.StallSnapshots == 0 {
+		c.StallSnapshots = 3
+	}
+	return c
+}
+
+// Watchdog evaluates health rules over the snapshot sequence of one cell.
+// Rules are pure functions of snapshot contents (sim-domain), so the flags
+// a cell earns are as deterministic as the snapshots themselves. Flags
+// latch: once raised they stay raised for the cell.
+type Watchdog struct {
+	cfg        WatchdogConfig
+	prevShard  map[string]float64 // last seen per-shard cumulative events
+	prevFired  uint64
+	stallCount map[string]int
+	flags      map[string]bool
+}
+
+// NewWatchdog returns a watchdog with defaults applied to cfg.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	return &Watchdog{
+		cfg:        cfg.withDefaults(),
+		prevShard:  map[string]float64{},
+		stallCount: map[string]int{},
+		flags:      map[string]bool{},
+	}
+}
+
+// Observe evaluates every rule against one snapshot. No-op on nil.
+func (w *Watchdog) Observe(s Snapshot) {
+	if w == nil {
+		return
+	}
+	if s.Counters[MetricContainment] > w.cfg.ContainmentLimit {
+		w.flags["containment-violation"] = true
+	}
+	if s.Counters[MetricConvergenceFailed] > w.cfg.ConvergenceFailLimit {
+		w.flags["convergence-failures"] = true
+	}
+	for key, g := range s.Gauges {
+		if key == MetricQueueDepth || strings.HasPrefix(key, MetricQueueDepth+"@") {
+			if g.Hi > w.cfg.QueueDepthLimit {
+				w.flags["queue-depth-runaway"] = true
+			}
+		}
+	}
+	fired := s.Counters[MetricEventsFired]
+	advancing := fired > w.prevFired
+	for key, g := range s.Gauges {
+		if !strings.HasPrefix(key, MetricShardEvents+"@") {
+			continue
+		}
+		prev, seen := w.prevShard[key]
+		if seen && g.V == prev && advancing {
+			w.stallCount[key]++
+			if w.stallCount[key] >= w.cfg.StallSnapshots {
+				w.flags["shard-stall@"+key[len(MetricShardEvents)+1:]] = true
+			}
+		} else if g.V != prev {
+			w.stallCount[key] = 0
+		}
+		w.prevShard[key] = g.V
+	}
+	w.prevFired = fired
+}
+
+// Flags returns the latched health flags, sorted. Nil (not empty) when
+// healthy, so a Result's omitempty health field stays absent.
+func (w *Watchdog) Flags() []string {
+	if w == nil || len(w.flags) == 0 {
+		return nil
+	}
+	fs := make([]string, 0, len(w.flags))
+	for f := range w.flags {
+		fs = append(fs, f)
+	}
+	sort.Strings(fs)
+	return fs
+}

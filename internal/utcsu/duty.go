@@ -22,6 +22,10 @@ type DutyTimer struct {
 	u      *UTCSU
 	target timefmt.Stamp
 	fn     func()
+	// fireFn caches the dt.fire method value: arm runs on every rate
+	// adjustment and amortization step, and a fresh bound-method closure
+	// per arm was the second-largest allocation site of a campaign run.
+	fireFn func()
 	ev     *sim.Event
 	done   bool
 }
@@ -32,6 +36,7 @@ type DutyTimer struct {
 // the timer fires at the next tick.
 func (u *UTCSU) DutyAt(target timefmt.Stamp, fn func()) *DutyTimer {
 	dt := &DutyTimer{u: u, target: target, fn: fn}
+	dt.fireFn = dt.fire
 	u.timers = append(u.timers, dt)
 	dt.arm()
 	return dt
@@ -70,7 +75,7 @@ func (dt *DutyTimer) arm() {
 	if now := u.sim.Now(); at < now {
 		at = now
 	}
-	dt.ev = u.sim.At(at, dt.fire)
+	dt.ev = u.sim.At(at, dt.fireFn)
 }
 
 func (dt *DutyTimer) fire() {
@@ -87,7 +92,7 @@ func (dt *DutyTimer) fire() {
 		if min := u.sim.Now() + u.osc.NominalPeriod()/2; at < min {
 			at = min
 		}
-		dt.ev = u.sim.At(at, dt.fire)
+		dt.ev = u.sim.At(at, dt.fireFn)
 		return
 	}
 	dt.done = true
