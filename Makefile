@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden serve-smoke serve-golden telemetry-smoke telemetry-golden
+.PHONY: ci vet build test race bench bench-smoke campaign-check report-smoke report-golden trace-smoke trace-golden discipline-smoke discipline-golden shard-smoke shard-golden serve-smoke serve-golden telemetry-smoke telemetry-golden byzantine-smoke byzantine-golden
 
 # ci is the gate run by .github/workflows/ci.yml: vet, build, and the
 # full test suite under the race detector (the harness worker pool is
@@ -78,6 +78,18 @@ shard-smoke:
 	$(GO) run ./cmd/nticampaign -preset sharded -shards 4 -q -out build/shard-smoke >/dev/null
 	diff -u cmd/nticampaign/testdata/sharded.golden.jsonl build/shard-smoke/campaign-sharded.jsonl
 
+# byzantine-smoke runs the Byzantine traitor-tolerance campaign with 4
+# shard workers and byte-diffs its JSONL artifact against the committed
+# golden, which was generated with -shards 1: traitor casts, per-pair
+# lies and source-quarantine decisions are pure functions of the cell
+# seed, so the adversarial grid must be bit-identical at any shard or
+# campaign worker count. Regenerate after an intentional behavior
+# change with `make byzantine-golden`.
+byzantine-smoke:
+	rm -rf build/byzantine-smoke
+	$(GO) run ./cmd/nticampaign -preset byzantine -shards 4 -q -out build/byzantine-smoke >/dev/null
+	diff -u cmd/nticampaign/testdata/byzantine.golden.jsonl build/byzantine-smoke/campaign-byzantine.jsonl
+
 # serve-smoke runs the serving preset (clients × arrival grid, 3 seeds)
 # with 4 shard workers and byte-diffs its JSONL artifact — including the
 # served-accuracy percentiles — against the committed golden, which was
@@ -121,6 +133,13 @@ shard-golden:
 	rm -rf build/shard-golden
 	$(GO) run ./cmd/nticampaign -preset sharded -shards 1 -q -out build/shard-golden >/dev/null
 	cp build/shard-golden/campaign-sharded.jsonl cmd/nticampaign/testdata/sharded.golden.jsonl
+
+# byzantine-golden refreshes the committed Byzantine campaign golden
+# from a sequential (-shards 1) run.
+byzantine-golden:
+	rm -rf build/byzantine-golden
+	$(GO) run ./cmd/nticampaign -preset byzantine -shards 1 -q -out build/byzantine-golden >/dev/null
+	cp build/byzantine-golden/campaign-byzantine.jsonl cmd/nticampaign/testdata/byzantine.golden.jsonl
 
 # discipline-golden refreshes the committed discipline shootout golden.
 discipline-golden:

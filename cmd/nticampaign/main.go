@@ -44,8 +44,10 @@ import (
 	"strconv"
 	"strings"
 
+	"ntisim/internal/adversary"
 	"ntisim/internal/cluster"
 	"ntisim/internal/discipline"
+	"ntisim/internal/gps"
 	"ntisim/internal/harness"
 	"ntisim/internal/metrics"
 	"ntisim/internal/prof"
@@ -133,6 +135,63 @@ var presets = map[string]preset{
 			// F=1 keeps gateways per WAN link at F+1 = 2.
 			s.Base.Sync.F = 1
 			s.Base.Serving.RegionalSkew = 1.5
+			s.WarmupS = 10
+			s.WindowS = 30
+		},
+	},
+	"byzantine": {
+		desc: "Byzantine traitor tolerance: discipline × nodes × traitor fraction on a 2-segment topology with colluding liars, triple GNSS sources and a wide-area spoof window",
+		points: func() []harness.Point {
+			pts := harness.Cross(
+				harness.DisciplineAxis(),
+				harness.NodesAxis(8, 16),
+				harness.TraitorsAxis(0, 0.125, 0.25, 0.375),
+			)
+			// NodesAxis does not rescale Sync.F; the tolerance question
+			// is exactly how F-vs-clique-size plays out at each scale, so
+			// recompute the proportional default per cell.
+			for i := range pts {
+				pt := &pts[i]
+				inner := pt.Mutate
+				pt.Mutate = func(c *cluster.Config) {
+					if inner != nil {
+						inner(c)
+					}
+					f := (c.Nodes - 1) / 3
+					if f > 5 {
+						f = 5
+					}
+					c.Sync.F = f
+				}
+			}
+			return pts
+		},
+		spec: func(s *harness.Spec) {
+			s.Base.Segments = 2
+			// Fixed gateway redundancy (instead of the F+1 default) so
+			// the n=16 cells don't spend 6 gateways per link.
+			s.Base.GatewaysPerLink = 3
+			// Nodes 0 and 1 (both on segment 0, the MeasureDelay pair)
+			// carry GNSS; each holds 3 independent sources combined with
+			// SourceF=1 fault tolerance, and the wide-area spoof window
+			// captures source 0 of every receiver mid-window.
+			s.Base.GPS = map[int]gps.Config{0: gps.DefaultReceiver(), 1: gps.DefaultReceiver()}
+			s.Base.Sync.SourceF = 1
+			s.Base.Adversary = adversary.Spec{
+				Attack: adversary.AttackCollude,
+				// In the capture band: wider than a typical steady-state
+				// interval half-width (~330 µs) so a clique larger than F
+				// drags fused intervals off true time, but narrow enough
+				// that intersection still succeeds (a louder lie merely
+				// kills convergence, which containment survives).
+				MagnitudeS: 500e-6,
+				Sources:    3,
+				GNSS: []adversary.GNSSEvent{{
+					Kind: adversary.GNSSSpoof, StartS: 25, EndS: 35,
+					OffsetS: 20e-3, Sources: 1,
+				}},
+			}
+			s.Watchdog.PrecisionDriftWindow = 8
 			s.WarmupS = 10
 			s.WindowS = 30
 		},

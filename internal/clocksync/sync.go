@@ -62,6 +62,17 @@ type Params struct {
 	// as the naive-trust contrast for experiment E5.
 	TrustExternal bool
 
+	// SourceF enables multi-source trust (G-SINC direction): instead of
+	// validating each external reference sequentially, the node fuses
+	// all of its sources' intervals with fault-tolerant combining
+	// (Marzullo edges + fault-tolerant midpoint over the per-source
+	// intervals, the zero-alloc Fuser path) tolerating up to SourceF
+	// arbitrarily-faulty sources by construction, and sources whose
+	// intervals persistently disagree with the node's own result are
+	// quarantined for a while. 0 keeps the classic sequential
+	// validation path. Ignored under TrustExternal.
+	SourceF int
+
 	// RateSync enables the rate-synchronization layer [Scho97].
 	RateSync bool
 	// RateBaselineRounds is the measurement baseline in rounds; longer
@@ -128,6 +139,10 @@ type Stats struct {
 	PrimaryAccepted   uint64
 	PrimaryRejected   uint64
 	ExternalRejected  uint64
+	// SourcesRejected counts quarantine entries under multi-source
+	// trust: a reference source whose intervals kept disagreeing with
+	// the validated result was benched for quarantineRounds.
+	SourcesRejected uint64
 	// RateCommands counts frequency adjustments commanded by the
 	// discipline (distinct from the [Scho97] rate-synchronization
 	// layer's own adjustments).
@@ -150,10 +165,16 @@ type Synchronizer struct {
 	collected map[uint32]map[uint16]peerEntry
 	rate      *rateSync
 	externals []ExternalFunc
-	stats     Stats
-	running   bool
-	bcastTm   Timer
-	compTm    Timer
+	// Multi-source trust state (Params.SourceF > 0): per-source
+	// quarantine tracking, the scratch interval set handed to the
+	// fault-tolerant source combiner, and its zero-alloc fuser.
+	srcStates   []sourceState
+	scratchSrcs []interval.Interval
+	srcFuser    interval.Fuser
+	stats       Stats
+	running     bool
+	bcastTm     Timer
+	compTm      Timer
 
 	// Per-round scratch, reused across converge calls so the steady
 	// state allocates nothing: the interval set handed to the
@@ -186,6 +207,7 @@ type Synchronizer struct {
 	tmRounds    *telemetry.Counter
 	tmFailed    *telemetry.Counter
 	tmRateCmds  *telemetry.Counter
+	tmSrcRej    *telemetry.Counter
 	tmWidth     *telemetry.Histogram
 	tmCorrOffst *telemetry.Histogram
 }
@@ -201,13 +223,19 @@ func (sy *Synchronizer) SetTracer(tr *trace.Tracer) { sy.tr = tr }
 // histogram. A nil r detaches.
 func (sy *Synchronizer) SetTelemetry(r *telemetry.Registry) {
 	if r == nil {
-		sy.tmRounds, sy.tmFailed, sy.tmRateCmds = nil, nil, nil
+		sy.tmRounds, sy.tmFailed, sy.tmRateCmds, sy.tmSrcRej = nil, nil, nil, nil
 		sy.tmWidth, sy.tmCorrOffst = nil, nil
 		return
 	}
 	sy.tmRounds = r.Counter("sync.rounds")
 	sy.tmFailed = r.Counter(telemetry.MetricConvergenceFailed)
 	sy.tmRateCmds = r.Counter("sync.rate_commands")
+	if sy.p.SourceF > 0 {
+		// Registered only on multi-source nodes: telemetry snapshots
+		// serialize every registered metric, so an unconditional
+		// registration would change legacy snapshot artifacts.
+		sy.tmSrcRej = r.Counter(MetricSourcesRejected)
+	}
 	sy.tmWidth = r.Histogram("sync.fused_width_s")
 	sy.tmCorrOffst = r.Histogram("sync.correction_s")
 }
@@ -493,25 +521,32 @@ func (sy *Synchronizer) converge(k uint32) {
 		}
 	}
 	externalOK := false
-	for _, ext := range sy.externals {
-		eIv, eOK := ext(now)
-		if !eOK {
-			continue
-		}
-		if sy.p.TrustExternal {
-			// Naive trust: adopt the receiver's word unconditionally.
-			sy.stats.ExternalAccepted++
-			externalOK = true
-			out = eIv
-			continue
-		}
-		validated, accepted := interval.Validate(eIv, out)
-		if accepted {
-			sy.stats.ExternalAccepted++
-			externalOK = true
-			out = validated
-		} else {
-			sy.stats.ExternalRejected++
+	if sy.p.SourceF > 0 && !sy.p.TrustExternal && len(sy.externals) > 0 {
+		// Multi-source trust: fault-tolerant combining over all source
+		// intervals at once (multisource.go) instead of sequential
+		// per-source validation.
+		out, externalOK = sy.fuseSources(now, out, k)
+	} else {
+		for _, ext := range sy.externals {
+			eIv, eOK := ext(now)
+			if !eOK {
+				continue
+			}
+			if sy.p.TrustExternal {
+				// Naive trust: adopt the receiver's word unconditionally.
+				sy.stats.ExternalAccepted++
+				externalOK = true
+				out = eIv
+				continue
+			}
+			validated, accepted := interval.Validate(eIv, out)
+			if accepted {
+				sy.stats.ExternalAccepted++
+				externalOK = true
+				out = validated
+			} else {
+				sy.stats.ExternalRejected++
+			}
 		}
 	}
 	if externalOK {

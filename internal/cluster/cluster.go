@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 
+	"ntisim/internal/adversary"
 	"ntisim/internal/clocksync"
 	"ntisim/internal/comco"
 	"ntisim/internal/cpu"
@@ -52,6 +53,11 @@ type Config struct {
 	ClockFactory func(u *utcsu.UTCSU) clocksync.Clock
 	// GPS maps node index → receiver config for GPS-equipped nodes.
 	GPS map[int]gps.Config
+	// Adversary is the Byzantine attack specification (traitor nodes,
+	// wide-area GNSS schedules, multi-source reference counts); the
+	// zero value disables it entirely. Per-node roles derive from
+	// (Seed, node id), so shard decomposition never perturbs who lies.
+	Adversary adversary.Spec
 	// BackgroundLoad injects competing KI/NI-style traffic at this
 	// utilization (0..0.9).
 	BackgroundLoad float64
@@ -134,6 +140,7 @@ func (c Config) Clone() Config {
 			out.GPS[i] = rc
 		}
 	}
+	out.Adversary = c.Adversary.Clone()
 	return out
 }
 
@@ -156,12 +163,17 @@ type Member struct {
 	// topology (gateways are homed on their lower-numbered adjacent
 	// segment's shard); 0 for unsharded clusters.
 	Shard int
-	Osc     *oscillator.Oscillator
-	U       *utcsu.UTCSU
-	Node    *kernel.Node
-	Sync    *clocksync.Synchronizer
-	GPS     *clocksync.GPSAttachment
-	Rx      *gps.Receiver
+	Osc   *oscillator.Oscillator
+	U     *utcsu.UTCSU
+	Node  *kernel.Node
+	Sync  *clocksync.Synchronizer
+	GPS   *clocksync.GPSAttachment
+	Rx    *gps.Receiver
+	// SrcGPS/SrcRx are the additional reference sources (GPU 1..) of a
+	// multi-source node (Adversary.Sources >= 2); the classic single
+	// receiver stays in GPS/Rx.
+	SrcGPS []*clocksync.GPSAttachment
+	SrcRx  []*gps.Receiver
 }
 
 // OffsetAndBounds implements metrics.Snapshotter through an SNU
@@ -196,8 +208,21 @@ type Cluster struct {
 	ServingGens []*service.Generator
 	tracers     []*trace.Tracer       // per-shard tracers of a sharded cluster
 	telems      []*telemetry.Registry // per-shard registries of a sharded cluster
+	adv         *adversary.Layer      // nil without an adversary spec
 	cfg         Config
 }
+
+// Traitor reports whether member index i is an adversarial node
+// (always false on clusters without an adversary).
+func (c *Cluster) Traitor(i int) bool { return c.adv.Traitor(i) }
+
+// TraitorCount returns the number of adversarial nodes.
+func (c *Cluster) TraitorCount() int { return len(c.adv.Traitors()) }
+
+// AdversaryLies returns the total adversarial frame mutations delivered
+// so far. Call only between RunUntil calls (barrier state, like
+// telemetry).
+func (c *Cluster) AdversaryLies() uint64 { return c.adv.LiesTold() }
 
 // New builds the cluster. Synchronizers are created but not started;
 // call Start (optionally after MeasureDelay has refined the bounds).
@@ -224,6 +249,7 @@ func New(cfg Config) *Cluster {
 		med.SetTelemetry(cfg.Telemetry)
 	}
 	c := &Cluster{Sim: s, Med: med, Media: []*network.Medium{med}, cfg: cfg}
+	c.adv = adversary.NewLayer(cfg.Adversary, cfg.Seed, cfg.Nodes, 1)
 	for i := 0; i < cfg.Nodes; i++ {
 		oc := oscillator.TCXO(cfg.OscHz)
 		if cfg.OscillatorFor != nil {
@@ -231,7 +257,10 @@ func New(cfg Config) *Cluster {
 		}
 		osc := oscillator.New(s, oc, fmt.Sprintf("node%d", i))
 		u := utcsu.New(s, utcsu.Config{Osc: osc})
-		node := kernel.NewNode(s, uint16(i), u, med, cfg.Kernel, cfg.COMCO)
+		// The adversary sits between the medium and the node's COMCO:
+		// WrapBus is the identity when nobody attacks.
+		bus := c.adv.WrapBus(med, i, 0, s, cfg.Tracer, cfg.Telemetry)
+		node := kernel.NewNode(s, uint16(i), u, bus, cfg.Kernel, cfg.COMCO)
 		m := &Member{Index: i, Osc: osc, U: u, Node: node}
 		var clk clocksync.Clock = clocksync.UTCSUClock{UTCSU: u}
 		if cfg.ClockFactory != nil {
@@ -239,17 +268,7 @@ func New(cfg Config) *Cluster {
 		}
 		m.Sync = clocksync.New(node, clk, cfg.Sync)
 		if gc, hasGPS := cfg.GPS[i]; hasGPS {
-			rho := cfg.Sync.RhoPPB
-			if rho == 0 {
-				rho = 2000
-			}
-			acc := timefmt.DurationFromSeconds(gc.AccuracyS)
-			if acc == 0 {
-				acc = timefmt.DurationFromSeconds(1e-6)
-			}
-			m.GPS = clocksync.AttachGPS(node, 0, acc, rho)
-			m.Rx = gps.New(s, gc, fmt.Sprintf("node%d", i), m.GPS.OnPulse)
-			m.Sync.AddExternal(m.GPS.Interval)
+			attachReferences(s, cfg.Tracer, m, gc, fmt.Sprintf("node%d", i), &cfg)
 		}
 		if cfg.Tracer != nil {
 			node.SetTracer(cfg.Tracer)
@@ -266,6 +285,48 @@ func New(cfg Config) *Cluster {
 	}
 	c.attachServing()
 	return c
+}
+
+// attachReferences wires member m's GNSS reference sources: the
+// classic single receiver on GPS stamp unit 0 plus, under multi-source
+// trust (Adversary.Sources >= 2), additional independent receivers on
+// the UTCSU's spare stamp units. Each source gets the wide-area GNSS
+// attack schedule lowered into its fault list (a no-op without one),
+// and each extra receiver derives its noise stream from its own label,
+// so source streams are mutually independent and shard-invariant.
+func attachReferences(s *sim.Simulator, tr *trace.Tracer, m *Member, gc gps.Config, label string, cfg *Config) {
+	rho := cfg.Sync.RhoPPB
+	if rho == 0 {
+		rho = 2000
+	}
+	acc := timefmt.DurationFromSeconds(gc.AccuracyS)
+	if acc == 0 {
+		acc = timefmt.DurationFromSeconds(1e-6)
+	}
+	sources := cfg.Adversary.Sources
+	if sources < 1 {
+		sources = 1
+	}
+	if sources > utcsu.NumGPU {
+		sources = utcsu.NumGPU
+	}
+	base := gc
+	base.Faults = cfg.Adversary.SourceFaults(0, gc.Faults)
+	m.GPS = clocksync.AttachGPS(m.Node, 0, acc, rho)
+	m.Rx = gps.New(s, base, label, m.GPS.OnPulse)
+	m.Sync.AddExternal(m.GPS.Interval)
+	for src := 1; src < sources; src++ {
+		sc := gc
+		sc.Faults = cfg.Adversary.SourceFaults(src, gc.Faults)
+		att := clocksync.AttachGPS(m.Node, src, acc, rho)
+		rx := gps.New(s, sc, fmt.Sprintf("%s/src%d", label, src), att.OnPulse)
+		m.Sync.AddExternal(att.Interval)
+		if tr != nil {
+			rx.SetTracer(tr, m.Index)
+		}
+		m.SrcGPS = append(m.SrcGPS, att)
+		m.SrcRx = append(m.SrcRx, rx)
+	}
 }
 
 // Start launches every synchronizer at the given simulated time. In a

@@ -38,9 +38,9 @@ import (
 	"fmt"
 	"runtime"
 
+	"ntisim/internal/adversary"
 	"ntisim/internal/clocksync"
 	"ntisim/internal/csp"
-	"ntisim/internal/gps"
 	"ntisim/internal/interval"
 	"ntisim/internal/kernel"
 	"ntisim/internal/network"
@@ -134,16 +134,26 @@ func newSharded(cfg Config) *Cluster {
 		cfg:     cfg,
 	}
 
+	c.adv = adversary.NewLayer(cfg.Adversary, cfg.Seed, cfg.Nodes, segs)
+
 	id := uint16(0)
 	mkNode := func(shard int, bus network.Bus, segment int) *Member {
 		s := sims[shard]
 		tr := tracers[shard]
+		var reg *telemetry.Registry
+		if telems != nil {
+			reg = telems[shard]
+		}
 		oc := oscillator.TCXO(cfg.OscHz)
 		if cfg.OscillatorFor != nil {
 			oc = cfg.OscillatorFor(int(id))
 		}
 		osc := oscillator.New(s, oc, fmt.Sprintf("wol%d", id))
 		u := utcsu.New(s, utcsu.Config{Osc: osc})
+		// Per-receiver adversary tap (identity when nobody attacks):
+		// lies are applied at delivery on the receiver's shard, so the
+		// decomposition never changes what any node hears.
+		bus = c.adv.WrapBus(bus, int(id), shard, s, tr, reg)
 		node := kernel.NewNode(s, id, u, bus, cfg.Kernel, cfg.COMCO)
 		m := &Member{Index: int(id), Segment: segment, Shard: shard, Osc: osc, U: u, Node: node}
 		var clk clocksync.Clock = clocksync.UTCSUClock{UTCSU: u}
@@ -152,17 +162,7 @@ func newSharded(cfg Config) *Cluster {
 		}
 		m.Sync = clocksync.New(node, clk, cfg.Sync)
 		if gc, hasGPS := cfg.GPS[int(id)]; hasGPS {
-			rho := cfg.Sync.RhoPPB
-			if rho == 0 {
-				rho = 2000
-			}
-			acc := timefmt.DurationFromSeconds(gc.AccuracyS)
-			if acc == 0 {
-				acc = timefmt.DurationFromSeconds(1e-6)
-			}
-			m.GPS = clocksync.AttachGPS(node, 0, acc, rho)
-			m.Rx = gps.New(s, gc, fmt.Sprintf("wol%d", id), m.GPS.OnPulse)
-			m.Sync.AddExternal(m.GPS.Interval)
+			attachReferences(s, tr, m, gc, fmt.Sprintf("wol%d", id), &cfg)
 		}
 		if tr != nil {
 			node.SetTracer(tr)
@@ -207,7 +207,14 @@ func newSharded(cfg Config) *Cluster {
 				port.SetTelemetry(telems[home])
 				relay.SetTelemetry(telems[remote])
 			}
-			gw.Node.AttachSegment(port)
+			// The gateway's WAN-facing channel gets the same adversary
+			// tap as its LAN channel: traitors on the remote segment lie
+			// to the gateway too.
+			var gwReg *telemetry.Registry
+			if telems != nil {
+				gwReg = telems[home]
+			}
+			gw.Node.AttachSegment(c.adv.WrapBus(port, gw.Index, home, sims[home], tracers[home], gwReg))
 		}
 	}
 

@@ -45,6 +45,8 @@ var csvHeader = []string{
 	// Serving columns are empty for cells without a client population.
 	"clients", "served_queries", "served_qps",
 	"served_err_p50_s", "served_err_p99_s", "served_err_p999_s", "served_err_max_s",
+	// Adversary columns are empty for cells without an adversary spec.
+	"traitors", "lies_told", "sources_rejected", "honest_violations",
 	// health is the ';'-joined watchdog flag list (empty = healthy or
 	// telemetry disabled).
 	"health",
@@ -76,6 +78,13 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 				f(sv.ErrP50S), f(sv.ErrP99S), f(sv.ErrP999S), f(sv.ErrMaxS))
 		} else {
 			row = append(row, "", "", "", "", "", "", "")
+		}
+		if av := r.Adversary; av != nil {
+			row = append(row,
+				strconv.Itoa(av.Traitors), u(av.LiesTold),
+				u(av.SourcesRejected), strconv.Itoa(av.HonestViolations))
+		} else {
+			row = append(row, "", "", "", "")
 		}
 		row = append(row, strings.Join(r.Health, ";"))
 		if err := cw.Write(row); err != nil {

@@ -162,6 +162,26 @@ func DisciplineAxis(names ...string) Axis {
 	return ax
 }
 
+// TraitorsAxis sweeps the Byzantine traitor fraction (the share of
+// regular nodes running an adversarial behavior model; which nodes turn
+// traitor derives from the cell seed — see internal/adversary). A 0
+// point is the honest baseline within the same sweep.
+func TraitorsAxis(fracs ...float64) Axis {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.125, 0.25, 0.375}
+	}
+	ax := Axis{Name: "traitors"}
+	for _, fr := range fracs {
+		fr := fr
+		ax.Points = append(ax.Points, Point{
+			Label:  fmt.Sprintf("traitors=%g", fr),
+			Params: map[string]string{"traitors": fmt.Sprint(fr)},
+			Mutate: func(c *cluster.Config) { c.Adversary.TraitorFrac = fr },
+		})
+	}
+	return ax
+}
+
 // ClientsAxis sweeps the simulated client population querying the
 // cluster for time (enables the internal/service load subsystem).
 func ClientsAxis(ns ...int) Axis {

@@ -159,6 +159,29 @@ type SyncTotals struct {
 	// (omitted for the offset-only disciplines, keeping older artifact
 	// lines byte-identical).
 	RateCommands uint64 `json:"rate_commands,omitempty"`
+	// SourcesRejected counts reference-source quarantine entries under
+	// multi-source trust (omitted on single-source cells, keeping older
+	// artifact lines byte-identical).
+	SourcesRejected uint64 `json:"sources_rejected,omitempty"`
+}
+
+// AdversaryTotals summarizes a cell's Byzantine activity. Present only
+// on cells whose config enables an adversary — the pointer + omitempty
+// keep adversary-free artifact lines byte-identical.
+type AdversaryTotals struct {
+	// Traitors is the cell's adversarial node count.
+	Traitors int `json:"traitors"`
+	// LiesTold counts adversarially mutated frame deliveries.
+	LiesTold uint64 `json:"lies_told"`
+	// SourcesRejected mirrors SyncTotals.SourcesRejected for the
+	// adversary columns.
+	SourcesRejected uint64 `json:"sources_rejected"`
+	// HonestViolations counts samples in which some honest (non-traitor)
+	// node's accuracy interval failed to contain true time — the
+	// Byzantine failure criterion: a traitor's own clock going wrong is
+	// configured behavior, an honest node losing containment means the
+	// tolerance bound was exceeded.
+	HonestViolations int `json:"honest_violations"`
 }
 
 // TimelinePoint is one sample of a cell's evolution (kept only when
@@ -216,6 +239,10 @@ type Result struct {
 	// (cluster.Config.Serving); nil otherwise. The pointer + omitempty
 	// keep pre-serving artifact lines byte-identical.
 	Serving *service.Stats `json:"serving,omitempty"`
+
+	// Adversary carries the Byzantine activity summary when the cell's
+	// config enables an adversary; nil otherwise.
+	Adversary *AdversaryTotals `json:"adversary,omitempty"`
 
 	// Health lists the watchdog flags the cell tripped (only when
 	// Spec.Telemetry; omitted — and byte-invisible — when healthy).
@@ -344,12 +371,18 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	// snapshot stream is deterministic at any worker count. The harness
 	// mirrors its containment verdicts into the registry so watchdog
 	// rules can key on them.
+	adversarial := cfg.Adversary.Enabled()
 	var wd *telemetry.Watchdog
-	var tmViol *telemetry.Counter
+	var tmViol, tmHonest *telemetry.Counter
 	if sp.Telemetry {
 		cfg.Telemetry = telemetry.New()
 		wd = telemetry.NewWatchdog(sp.Watchdog)
 		tmViol = cfg.Telemetry.Counter(telemetry.MetricContainment)
+		if adversarial {
+			// Registered only on adversarial cells so legacy snapshot
+			// streams keep their exact metric set.
+			tmHonest = cfg.Telemetry.Counter(telemetry.MetricHonestContainment)
+		}
 	}
 
 	c := cluster.New(cfg)
@@ -373,6 +406,7 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	width.Grow(samples)
 	w.Grow(len(c.Members))
 	begin := c.Now()
+	honestViolations := 0
 	serving := cfg.Serving.Clients > 0
 	if serving {
 		c.StartServing(begin)
@@ -392,10 +426,27 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 			res.ContainmentViolations++
 			tmViol.Inc()
 		}
+		if adversarial {
+			// Byzantine failure criterion: containment over the honest
+			// subset only. cs.Contained covers every node, but a traitor
+			// losing containment on its own steered clock is not a
+			// tolerance failure.
+			for _, m := range c.Members {
+				if c.Traitor(m.Index) {
+					continue
+				}
+				if _, lo, hi := m.OffsetAndBounds(); lo > 0 || hi < 0 {
+					honestViolations++
+					tmHonest.Inc()
+					break
+				}
+			}
+		}
 		res.Samples++
 		if sp.Telemetry {
 			snap, _ := c.TelemetrySnapshot()
 			wd.Observe(snap)
+			wd.ObservePrecision(cs.Precision)
 			res.Telemetry = append(res.Telemetry, snap)
 			sp.Monitor.Publish(snap)
 		}
@@ -426,6 +477,7 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 		res.Sync.ExternalAccepted += st.ExternalAccepted
 		res.Sync.ExternalRejected += st.ExternalRejected
 		res.Sync.RateCommands += st.RateCommands
+		res.Sync.SourcesRejected += st.SourcesRejected
 	}
 	if ideal := res.Sync.CSPsSent * uint64(len(c.Members)-1); ideal > 0 {
 		res.CSPUse = float64(res.Sync.CSPsUsed) / float64(ideal)
@@ -438,6 +490,14 @@ func runCell(sp *Spec, cell Cell) (res Result) {
 	if serving {
 		st := c.ServingReport(c.Now() - begin)
 		res.Serving = &st
+	}
+	if adversarial {
+		res.Adversary = &AdversaryTotals{
+			Traitors:         c.TraitorCount(),
+			LiesTold:         c.AdversaryLies(),
+			SourcesRejected:  res.Sync.SourcesRejected,
+			HonestViolations: honestViolations,
+		}
 	}
 	if sp.Trace {
 		// Sharded clusters trace per shard; Trace() returns the merged

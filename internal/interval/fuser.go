@@ -69,7 +69,9 @@ func (fz *Fuser) Marzullo(ivs []Interval, f int) (Interval, bool) {
 		if e.delta > 0 && depth >= need && !foundLo {
 			lo, foundLo = e.at, true
 		}
-		if e.delta < 0 && depth == need-1 && foundLo && !foundHi {
+		// Last close below need, not the first: the hull over all
+		// depth-(n−f) regions (see the package function).
+		if e.delta < 0 && depth == need-1 && foundLo {
 			hi, foundHi = e.at, true
 		}
 	}

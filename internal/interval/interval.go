@@ -211,7 +211,12 @@ func Marzullo(ivs []Interval, f int) (Interval, bool) {
 		if e.delta > 0 && depth >= need && !foundLo {
 			lo, foundLo = e.at, true
 		}
-		if e.delta < 0 && depth == need-1 && foundLo && !foundHi {
+		// Keep advancing hi to the LAST close that drops below need:
+		// Byzantine inputs can split the depth-(n−f) coverage into
+		// disjoint regions, and true time is only guaranteed to lie in
+		// one of them — the hull over all of them is what the contract
+		// (and the containment theorem) requires, not the leftmost.
+		if e.delta < 0 && depth == need-1 && foundLo {
 			hi, foundHi = e.at, true
 		}
 	}

@@ -125,6 +125,11 @@ type Node struct {
 	// interrupt was the largest allocation site of a campaign run.
 	stampMoveFn func()
 
+	// freeJobs is the free list of pooled rxJob records (see rxJob):
+	// after the pool warms up, frame reception allocates neither ISR nor
+	// task closures.
+	freeJobs *rxJob
+
 	comcoCfg comco.Config
 	tr       *trace.Tracer
 }
@@ -354,6 +359,53 @@ func (n *Node) rxSaveRead(base uint32) (timefmt.Stamp, timefmt.Alpha, timefmt.Al
 	return st, meta.alphaM, meta.alphaP, true
 }
 
+// rxJob carries one received frame from the frame-stored ISR to CI task
+// level. Receptions overlap (the ISR runs ~12 µs after storage, the CI
+// task hundreds of µs later, and every peer broadcasts each round), so
+// jobs live on a per-node free list with their ISR and task entry
+// points bound once at allocation: after warm-up, frame reception
+// allocates nothing but the payload copy of data-bearing frames. The
+// per-frame delivery closures this replaces were the top remaining
+// allocation site after the stamp-move ISR was cached.
+type rxJob struct {
+	n          *Node
+	ch         int
+	slot       int
+	attempt    int
+	fid        uint64
+	headerBase uint32
+	length     int
+	corrupt    bool
+	pkt        csp.Packet
+	payload    []byte
+	isrStamp   timefmt.Stamp
+	isrAM      timefmt.Alpha
+	isrAP      timefmt.Alpha
+	isrFn      func()
+	taskFn     func()
+	next       *rxJob
+}
+
+func (n *Node) getJob() *rxJob {
+	j := n.freeJobs
+	if j == nil {
+		j = &rxJob{n: n}
+		j.isrFn = j.runISR
+		j.taskFn = j.runTask
+		return j
+	}
+	n.freeJobs = j.next
+	j.next = nil
+	return j
+}
+
+func (n *Node) putJob(j *rxJob) {
+	j.payload = nil
+	j.pkt = csp.Packet{}
+	j.next = n.freeJobs
+	n.freeJobs = j
+}
+
 // frameStored is the COMCO's reception-complete callback: it runs the
 // frame ISR on the CPU, then hands CSPs to the CI at task level.
 func (n *Node) frameStored(ch int, fid uint64, headerBase uint32, length int, corrupt bool) {
@@ -361,78 +413,99 @@ func (n *Node) frameStored(ch int, fid uint64, headerBase uint32, length int, co
 	// The kernel's software ring pointer: the *next* trigger should
 	// belong to the slot after this one (the no-latch guess).
 	n.chans[ch].rxGuessSlot = (slot + 1) % nti.RxHeadersPerCh
-	n.CPU.RunISR(func() {
-		isrStamp := n.U.Now()
-		isrAM, isrAP := n.U.Alpha()
-		var hdr [nti.HeaderSize]byte
-		n.NTI.CPURead(headerBase, hdr[:])
-		var payload []byte
-		if extra := length - nti.HeaderSize; extra > 0 {
-			if extra > nti.DataSlotSize {
-				extra = nti.DataSlotSize
-			}
-			payload = make([]byte, extra)
-			n.NTI.CPURead(nti.DataSlotAddr(ch, slot), payload)
+	j := n.getJob()
+	j.ch, j.slot, j.attempt = ch, slot, 0
+	j.fid, j.headerBase, j.length, j.corrupt = fid, headerBase, length, corrupt
+	n.CPU.RunISR(j.isrFn)
+}
+
+// runISR is the frame ISR body (the same operation order as the closure
+// it replaced — CPURead costs are part of the timing model).
+func (j *rxJob) runISR() {
+	n := j.n
+	j.isrStamp = n.U.Now()
+	j.isrAM, j.isrAP = n.U.Alpha()
+	var hdr [nti.HeaderSize]byte
+	n.NTI.CPURead(j.headerBase, hdr[:])
+	if extra := j.length - nti.HeaderSize; extra > 0 {
+		if extra > nti.DataSlotSize {
+			extra = nti.DataSlotSize
 		}
-		if corrupt {
-			// CRC failure: discard. In ModeNTI the RECEIVE trigger fired
-			// anyway; the stamp-move ISR already consumed the sample, so
-			// nothing is left dangling (this is why a sequential-order
-			// scheme breaks, footnote 4).
-			return
-		}
-		pkt, err := csp.Decode(hdr[:])
-		if err != nil {
-			return
-		}
-		n.CPU.RunTask(func() { n.dispatch(ch, fid, pkt, payload, headerBase, 0, isrStamp, isrAM, isrAP) })
-	})
+		j.payload = make([]byte, extra)
+		n.NTI.CPURead(nti.DataSlotAddr(j.ch, j.slot), j.payload)
+	}
+	if j.corrupt {
+		// CRC failure: discard. In ModeNTI the RECEIVE trigger fired
+		// anyway; the stamp-move ISR already consumed the sample, so
+		// nothing is left dangling (this is why a sequential-order
+		// scheme breaks, footnote 4).
+		n.putJob(j)
+		return
+	}
+	pkt, err := csp.Decode(hdr[:])
+	if err != nil {
+		n.putJob(j)
+		return
+	}
+	j.pkt = pkt
+	n.CPU.RunTask(j.taskFn)
+}
+
+// runTask is the CI task entry: it dispatches and then releases the job
+// (dispatch signals a pending retry by bumping j.attempt and re-queuing
+// j.taskFn, in which case the job stays live).
+func (j *rxJob) runTask() {
+	if j.n.dispatch(j) {
+		j.n.putJob(j)
+	}
 }
 
 // dispatch runs at CI task level. In ModeNTI it consumes the hardware
 // stamp the stamp-move ISR deposited; if the mover lost the race against
 // task dispatch it retries once before declaring the stamp lost (a real
 // driver polls the validity marker the same way — the hardware register
-// alone cannot be trusted once further CSPs may have arrived).
-func (n *Node) dispatch(ch int, fid uint64, pkt csp.Packet, payload []byte, headerBase uint32, attempt int,
-	isrStamp timefmt.Stamp, isrAM, isrAP timefmt.Alpha) {
+// alone cannot be trusted once further CSPs may have arrived). It
+// reports whether the job is finished (false = retry queued).
+func (n *Node) dispatch(j *rxJob) bool {
+	pkt, payload := j.pkt, j.payload
 	var hwStamp timefmt.Stamp
 	var hwAM, hwAP timefmt.Alpha
 	hwOK := false
 	if n.cfg.Mode == ModeNTI {
-		hwStamp, hwAM, hwAP, hwOK = n.rxSaveRead(headerBase)
-		if !hwOK && attempt < 2 {
-			n.CPU.RunTask(func() { n.dispatch(ch, fid, pkt, payload, headerBase, attempt+1, isrStamp, isrAM, isrAP) })
-			return
+		hwStamp, hwAM, hwAP, hwOK = n.rxSaveRead(j.headerBase)
+		if !hwOK && j.attempt < 2 {
+			j.attempt++
+			n.CPU.RunTask(j.taskFn)
+			return false
 		}
 	}
 	if n.rttResponder && pkt.Kind == csp.KindRTTReq {
 		if n.cfg.Mode == ModeNTI && hwOK {
 			n.respondRTT(pkt, hwStamp)
 		}
-		return
+		return true
 	}
 	switch pkt.Kind {
 	case csp.KindKernel:
 		if n.kiHandler != nil {
 			n.kiHandler(pkt.Node, payload)
 		}
-		return
+		return true
 	case csp.KindNet:
 		if n.niHandler != nil {
 			n.niHandler(pkt.Node, payload)
 		}
-		return
+		return true
 	}
 	if n.ciHandler == nil {
-		return
+		return true
 	}
 	a := Arrival{Pkt: pkt, At: n.Sim.Now()}
 	switch n.cfg.Mode {
 	case ModeNTI:
 		a.RxStamp, a.RxAlphaM, a.RxAlphaP, a.StampOK = hwStamp, hwAM, hwAP, hwOK
 	case ModeISR:
-		a.RxStamp, a.RxAlphaM, a.RxAlphaP, a.StampOK = isrStamp, isrAM, isrAP, true
+		a.RxStamp, a.RxAlphaM, a.RxAlphaP, a.StampOK = j.isrStamp, j.isrAM, j.isrAP, true
 	case ModeTask:
 		a.RxStamp = n.U.Now()
 		a.RxAlphaM, a.RxAlphaP = n.U.Alpha()
@@ -444,9 +517,10 @@ func (n *Node) dispatch(ch int, fid uint64, pkt csp.Packet, payload []byte, head
 		if a.StampOK {
 			v = a.RxStamp.Seconds()
 		}
-		n.tr.Emit(trace.KindCSPArrival, n.Sim.Now(), int(n.ID), ch, fid, uint64(pkt.Round), v)
+		n.tr.Emit(trace.KindCSPArrival, n.Sim.Now(), int(n.ID), j.ch, j.fid, uint64(pkt.Round), v)
 	}
 	n.ciHandler(a)
+	return true
 }
 
 // respondRTT echoes a round-trip probe at ISR level: the response

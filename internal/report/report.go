@@ -117,6 +117,7 @@ func Generate(w io.Writer, title string, results []harness.Result, opt stats.Opt
 
 	writeAggregateTable(bw, agg)
 	writeHealth(bw, results)
+	writeTraitorTolerance(bw, results)
 	writeConvergence(bw, agg, opt)
 	writeServing(bw, agg)
 	writeDisciplineRanking(bw, agg)

@@ -23,6 +23,12 @@ const (
 	MetricShardEvents = "group.shard_events"
 	// MetricEventsFired is the merged fired-event counter.
 	MetricEventsFired = "sim.events_fired"
+	// MetricHonestContainment counts containment violations on honest
+	// (non-traitor) nodes only, maintained by the harness sample loop on
+	// adversarial cells. A traitor steering its own clock off true time
+	// is working as configured; an *honest* node losing containment
+	// means the Byzantine tolerance bound was actually exceeded.
+	MetricHonestContainment = "sync.honest_containment_violations"
 )
 
 // WatchdogConfig sets the health-rule thresholds. The zero value gets
@@ -41,6 +47,11 @@ type WatchdogConfig struct {
 	// ConvergenceFailLimit flags "convergence-failures" when the failed
 	// round counter exceeds it. Default 0.
 	ConvergenceFailLimit uint64 `json:"convergence_fail_limit,omitempty"`
+	// PrecisionDriftWindow enables the trend rule: precision getting
+	// strictly worse for this many consecutive ObservePrecision calls
+	// latches "precision-drift". 0 (the default) disables the rule, so
+	// cells that never opt in keep their exact legacy flag sets.
+	PrecisionDriftWindow int `json:"precision_drift_window,omitempty"`
 }
 
 func (c WatchdogConfig) withDefaults() WatchdogConfig {
@@ -63,6 +74,11 @@ type Watchdog struct {
 	prevFired  uint64
 	stallCount map[string]int
 	flags      map[string]bool
+	// Precision-trend state (PrecisionDriftWindow > 0): the previous
+	// observation and the current strictly-worsening streak length.
+	prevPrecision float64
+	driftStreak   int
+	precisionSeen bool
 }
 
 // NewWatchdog returns a watchdog with defaults applied to cfg.
@@ -85,6 +101,11 @@ func (w *Watchdog) Observe(s Snapshot) {
 	}
 	if s.Counters[MetricConvergenceFailed] > w.cfg.ConvergenceFailLimit {
 		w.flags["convergence-failures"] = true
+	}
+	if s.Counters[MetricHonestContainment] > 0 {
+		// Safe unconditionally: the metric only exists in snapshots of
+		// adversarial cells (registered there by the harness).
+		w.flags["honest-containment"] = true
 	}
 	for key, g := range s.Gauges {
 		if key == MetricQueueDepth || strings.HasPrefix(key, MetricQueueDepth+"@") {
@@ -111,6 +132,27 @@ func (w *Watchdog) Observe(s Snapshot) {
 		w.prevShard[key] = g.V
 	}
 	w.prevFired = fired
+}
+
+// ObservePrecision feeds the trend rule one per-snapshot precision
+// sample (seconds; smaller is better). A run of cfg.PrecisionDriftWindow
+// consecutive strictly-worsening samples latches "precision-drift" —
+// the "drifting monotonically worse" failure mode absolute limits can't
+// see until it is far gone. No-op on nil or when the rule is disabled.
+func (w *Watchdog) ObservePrecision(p float64) {
+	if w == nil || w.cfg.PrecisionDriftWindow <= 0 {
+		return
+	}
+	if w.precisionSeen && p > w.prevPrecision {
+		w.driftStreak++
+		if w.driftStreak >= w.cfg.PrecisionDriftWindow {
+			w.flags["precision-drift"] = true
+		}
+	} else {
+		w.driftStreak = 0
+	}
+	w.prevPrecision = p
+	w.precisionSeen = true
 }
 
 // Flags returns the latched health flags, sorted. Nil (not empty) when

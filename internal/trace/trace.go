@@ -98,6 +98,10 @@ const (
 	// client time queries (A = queries in the batch, V = absolute clock
 	// error each of them observed, in seconds).
 	KindQueryServed
+	// KindLie: the adversary mutated a CSP in flight before delivery to
+	// this node (A = frame ID, B = lying source node, V = stamp shift
+	// in seconds).
+	KindLie
 
 	numKinds
 )
@@ -124,6 +128,7 @@ var kindNames = [numKinds]string{
 	KindFaultClear:  "fault-clear",
 	KindDiscipline:  "disc-step",
 	KindQueryServed: "query-served",
+	KindLie:         "lie",
 }
 
 // kindArgs labels the A/B/V payload of each kind for the text
@@ -148,6 +153,7 @@ var kindArgs = [numKinds][3]string{
 	KindFaultClear:  {"", "fault", ""},
 	KindDiscipline:  {"round", "disc", "corr"},
 	KindQueryServed: {"queries", "", "err"},
+	KindLie:         {"frame", "src", "delta"},
 }
 
 // String returns the kind's stable wire name.
